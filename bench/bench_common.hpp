@@ -1,0 +1,190 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench prints (a) the Table 2 device parameters it models, (b) the
+// workload scale, and (c) a paper-style results table. Scales default to
+// laptop-size meshes; set PMOCTREE_BENCH_SCALE=<float> to enlarge the
+// *real* workload (the cluster simulator's `scale` handles the rest).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "amr/droplet.hpp"
+#include "amr/pm_backend.hpp"
+#include "baseline/etree_backend.hpp"
+#include "baseline/incore_backend.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "common/stats.hpp"
+
+namespace pmo::bench {
+
+inline double bench_scale() {
+  const char* env = std::getenv("PMOCTREE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline nvbm::Config device_config() {
+  nvbm::Config c;  // Table 2 defaults, modeled latency
+  c.latency_mode = nvbm::LatencyMode::kModeled;
+  return c;
+}
+
+inline void print_table2_header(const char* title) {
+  const nvbm::Config c = device_config();
+  std::printf("=== %s ===\n", title);
+  std::printf("device model (Table 2): DRAM %lu/%lu ns, NVBM %lu/%lu ns "
+              "(read/write per %zu B line)\n",
+              static_cast<unsigned long>(c.dram_read_ns),
+              static_cast<unsigned long>(c.dram_write_ns),
+              static_cast<unsigned long>(c.read_ns),
+              static_cast<unsigned long>(c.write_ns), c.cache_line);
+}
+
+/// A backend bundle owning its devices (order matters for destruction).
+struct Bundle {
+  std::unique_ptr<nvbm::Device> device;
+  std::unique_ptr<amr::MeshBackend> mesh;
+  amr::PmOctreeBackend* pm = nullptr;  // set when the mesh is PM-octree
+};
+
+inline Bundle make_pm(std::size_t nvbm_capacity, pmoctree::PmConfig pm) {
+  Bundle b;
+  b.device = std::make_unique<nvbm::Device>(nvbm_capacity, device_config());
+  auto mesh = std::make_unique<amr::PmOctreeBackend>(*b.device, pm);
+  b.pm = mesh.get();
+  b.mesh = std::move(mesh);
+  return b;
+}
+
+/// Registers the droplet workload's hot-spot predicate as the PM-octree
+/// feature function (§3.3 integration: the application hands its
+/// refinement/solver predicates to the library).
+inline void register_droplet_feature(Bundle& b, amr::DropletWorkload& wl) {
+  if (b.pm == nullptr) return;
+  b.pm->register_feature([&wl](const LocCode& code, const CellData& d) {
+    return wl.hot_feature(code, d);
+  });
+}
+
+inline Bundle make_incore(std::size_t snapshot_capacity,
+                          int snapshot_interval = 10) {
+  Bundle b;
+  b.device =
+      std::make_unique<nvbm::Device>(snapshot_capacity, device_config());
+  baseline::InCoreConfig cfg;
+  cfg.snapshot_interval = snapshot_interval;
+  b.mesh = std::make_unique<baseline::InCoreBackend>(*b.device, cfg);
+  return b;
+}
+
+inline Bundle make_etree(std::size_t capacity) {
+  Bundle b;
+  b.device = std::make_unique<nvbm::Device>(capacity, device_config());
+  baseline::EtreeConfig cfg;
+  // A realistic buffer pool is a small fraction of the octant database;
+  // an oversized pool would hide the page I/O the paper measures.
+  cfg.cache_pages = 16;
+  b.mesh = std::make_unique<baseline::EtreeBackend>(*b.device, cfg);
+  return b;
+}
+
+/// Formats a count like the paper's element labels (1.2M, 1077M, ...).
+inline std::string elems(double n) { return TablePrinter::human_count(n); }
+
+/// Estimates the real-mesh leaf count a workload produces (one cheap
+/// DRAM-only probe run: initialize + 1 step).
+inline std::size_t probe_leaves(const amr::DropletParams& params) {
+  auto bundle = make_incore(std::size_t{256} << 20, /*interval=*/1000);
+  amr::DropletWorkload wl(params);
+  wl.initialize(*bundle.mesh);
+  wl.step(*bundle.mesh, 0, /*persist=*/false);
+  return bundle.mesh->leaf_count();
+}
+
+/// Real-run DRAM budget that models a node whose C0 tree can hold
+/// `c0_octants_per_node` octants while each rank owns `per_rank_elements`
+/// target octants: the real run (which holds the whole global mesh) gets
+/// the same C0-fit *fraction*.
+inline std::size_t budget_for(double c0_octants_per_node,
+                              double per_rank_elements,
+                              std::size_t real_leaves) {
+  const double fraction =
+      std::min(1.0, c0_octants_per_node / per_rank_elements);
+  const double nodes = static_cast<double>(real_leaves) * 8.0 / 7.0;
+  const double bytes = fraction * nodes * sizeof(pmoctree::PNode) * 1.3;
+  return std::max<std::size_t>(64 * sizeof(pmoctree::PNode),
+                               static_cast<std::size_t>(bytes));
+}
+
+enum class Backend { kPm, kInCore, kEtree };
+
+inline const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kPm: return "PM-octree";
+    case Backend::kInCore: return "in-core-octree";
+    case Backend::kEtree: return "out-of-core-octree";
+  }
+  return "?";
+}
+
+struct PointOpts {
+  double c0_octants_per_node = 1.5e5;
+  bool enable_transform = true;
+};
+
+struct PointResult {
+  cluster::ClusterResult cluster;
+  std::uint64_t nvbm_writes = 0;   ///< real-run NVBM write ops
+  std::size_t eviction_merges = 0;  ///< real-run C0->C1 pressure merges
+  std::size_t dram_budget_bytes = 0;
+};
+
+/// Runs one cluster-simulation point: `procs` ranks, `target_global`
+/// elements in total, on the given backend.
+inline PointResult run_point(Backend kind, int procs, double target_global,
+                             int steps, const amr::DropletParams& params,
+                             const PointOpts& opts,
+                             std::size_t real_leaves) {
+  const double scale =
+      target_global / static_cast<double>(std::max<std::size_t>(
+                          1, real_leaves));
+  PointResult out;
+  Bundle bundle;
+  switch (kind) {
+    case Backend::kPm: {
+      pmoctree::PmConfig pm;
+      pm.dram_budget_bytes = budget_for(
+          opts.c0_octants_per_node, target_global / procs, real_leaves);
+      pm.enable_transform = opts.enable_transform;
+      out.dram_budget_bytes = pm.dram_budget_bytes;
+      bundle = make_pm(std::size_t{256} << 20, pm);
+      break;
+    }
+    case Backend::kInCore:
+      bundle = make_incore(std::size_t{256} << 20);
+      break;
+    case Backend::kEtree:
+      bundle = make_etree(std::size_t{256} << 20);
+      break;
+  }
+  amr::DropletWorkload wl(params);
+  register_droplet_feature(bundle, wl);
+  cluster::ClusterConfig cfg;
+  cfg.procs = procs;
+  cfg.steps = steps;
+  cfg.scale = scale;
+  cluster::ClusterSim sim(cfg);
+  out.cluster = sim.run(*bundle.mesh, wl);
+  out.nvbm_writes = bundle.mesh->nvbm_writes();
+  if (bundle.pm != nullptr) {
+    out.eviction_merges = bundle.pm->tree().eviction_merges();
+  }
+  return out;
+}
+
+}  // namespace pmo::bench

@@ -1,0 +1,47 @@
+// Figure 7 reproduction: execution-time percentage breakdown across the
+// major simulation routines for the weak-scaling study (PM-octree).
+//
+// Expected shape (paper): Partition is 0% on 1 processor, ~19% at small
+// scale, and grows to dominate (~56%) at 1000 processors; Refine&Coarsen
+// and Balance shares shrink correspondingly.
+#include "bench_common.hpp"
+
+using namespace pmo;
+using namespace pmo::bench;
+
+int main() {
+  print_table2_header("Figure 7: routine breakdown, weak scaling");
+  const double per_rank = 1.0e6 * bench_scale();
+  PointOpts opts;
+  opts.c0_octants_per_node = 1.5e5 * bench_scale();
+  const int steps = 6;
+
+  amr::DropletParams params;
+  params.min_level = 3;
+  params.max_level = 5;
+  params.dt = 0.12;
+  const auto real_leaves = probe_leaves(params);
+
+  static const char* kRoutines[] = {"Construct", "Refine&Coarsen",
+                                    "Balance",   "Partition",
+                                    "Solve",     "Advect",
+                                    "Persist"};
+  TablePrinter table({"procs", "Construct%", "Refine&Coarsen%", "Balance%",
+                      "Partition%", "Solve%", "Advect%", "Persist%",
+                      "total(s)"});
+  for (const int procs : {1, 6, 24, 100, 250, 500, 1000}) {
+    const double target = per_rank * procs;
+    const auto res = run_point(Backend::kPm, procs, target, steps, params,
+                               opts, real_leaves);
+    std::vector<std::string> row{std::to_string(procs)};
+    for (const char* routine : kRoutines) {
+      row.push_back(TablePrinter::num(res.cluster.breakdown.percent(routine), 1));
+    }
+    row.push_back(TablePrinter::num(res.cluster.total_s, 1));
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: Partition%% = 0 at 1 proc, rising to "
+              "dominate at 1000 procs (paper: 19%% at 6, 56%% at 1000).\n");
+  return 0;
+}

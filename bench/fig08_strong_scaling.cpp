@@ -1,0 +1,51 @@
+// Figure 8 reproduction: strong scaling of the simulation with PM-octree
+// — fixed 150M-element problem, 240 to 1000 processors — plus the
+// per-routine breakdown (Fig. 8b).
+//
+// Expected shape (paper): speedup close to ideal over this range; the
+// breakdown stays stable across processor counts (no scalability cliff).
+#include "bench_common.hpp"
+
+using namespace pmo;
+using namespace pmo::bench;
+
+int main() {
+  print_table2_header("Figure 8: strong scaling, 150M elements, PM-octree");
+  const double global = 150.0e6 * bench_scale();
+  PointOpts opts;
+  opts.c0_octants_per_node = 1.5e5 * bench_scale();
+  const int steps = 6;
+
+  amr::DropletParams params;
+  params.min_level = 3;
+  params.max_level = 5;
+  params.dt = 0.12;
+  const auto real_leaves = probe_leaves(params);
+  std::printf("real mesh: %zu leaves; global target %s elements\n\n",
+              real_leaves, elems(global).c_str());
+
+  const int procs_list[] = {240, 360, 500, 640, 800, 1000};
+  double base_time = 0.0;
+  TablePrinter table({"procs", "time(s)", "speedup", "ideal", "Refine%",
+                      "Balance%", "Partition%", "Solve%", "Persist%"});
+  for (const int procs : procs_list) {
+    const auto res = run_point(Backend::kPm, procs, global, steps, params,
+                               opts, real_leaves);
+    if (base_time == 0.0) base_time = res.cluster.total_s;
+    const double speedup = base_time / res.cluster.total_s;
+    const double ideal =
+        static_cast<double>(procs) / static_cast<double>(procs_list[0]);
+    table.row({std::to_string(procs), TablePrinter::num(res.cluster.total_s, 1),
+               TablePrinter::num(speedup, 2), TablePrinter::num(ideal, 2),
+               TablePrinter::num(res.cluster.breakdown.percent("Refine&Coarsen"), 1),
+               TablePrinter::num(res.cluster.breakdown.percent("Balance"), 1),
+               TablePrinter::num(res.cluster.breakdown.percent("Partition"), 1),
+               TablePrinter::num(res.cluster.breakdown.percent("Solve"), 1),
+               TablePrinter::num(res.cluster.breakdown.percent("Persist"), 1)});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: speedup tracks ideal (within the "
+              "Partition overhead); breakdown shares stay roughly stable "
+              "across processor counts.\n");
+  return 0;
+}

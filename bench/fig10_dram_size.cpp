@@ -1,0 +1,63 @@
+// Figure 10 reproduction: impact of the DRAM size configured for the C0
+// tree — 6.75M elements on 100 processors, DRAM 1/2/4/8 GB — against the
+// out-of-core octree and the in-core octree (which needs the full 20 GB).
+//
+// Expected shape (paper): 233.5s at 1 GB down to 89.1s at 8 GB; 491
+// pressure merges at 1 GB vs merge-only-at-step-end at 8 GB; even at 1 GB
+// PM-octree beats out-of-core by a wide margin; at 8 GB it approaches the
+// in-core octree.
+#include "bench_common.hpp"
+
+using namespace pmo;
+using namespace pmo::bench;
+
+int main() {
+  print_table2_header("Figure 10: DRAM size for the C0 tree");
+  const double global = 6.75e6 * bench_scale();
+  const int procs = 100;
+  const int steps = 8;
+  // The paper's in-core run needs 20 GB of DRAM for 6.75M elements; a
+  // "1 GB" C0 budget therefore holds 1/20 of the octants, and so on.
+  const double octants_per_rank = global / procs;
+
+  amr::DropletParams params;
+  params.min_level = 3;
+  params.max_level = 5;
+  params.dt = 0.12;
+  const auto real_leaves = probe_leaves(params);
+  std::printf("real mesh: %zu leaves; %s global elements on %d procs\n\n",
+              real_leaves, elems(global).c_str(), procs);
+
+  TablePrinter table({"config", "C0 capacity", "time(s)", "C0->C1 merges",
+                      "NVBM writes"});
+  for (const double gb : {1.0, 2.0, 4.0, 8.0}) {
+    PointOpts opts;
+    opts.c0_octants_per_node = (gb / 20.0) * octants_per_rank;
+    const auto res = run_point(Backend::kPm, procs, global, steps, params,
+                               opts, real_leaves);
+    table.row({"PM-octree " + TablePrinter::num(gb, 0) + "GB",
+               elems(opts.c0_octants_per_node) + " octants",
+               TablePrinter::num(res.cluster.total_s, 1),
+               std::to_string(res.eviction_merges),
+               std::to_string(res.nvbm_writes)});
+  }
+  {
+    PointOpts opts;
+    const auto ooc = run_point(Backend::kEtree, procs, global, steps,
+                               params, opts, real_leaves);
+    table.row({"out-of-core-octree", "-",
+               TablePrinter::num(ooc.cluster.total_s, 1), "-",
+               std::to_string(ooc.nvbm_writes)});
+    const auto incore = run_point(Backend::kInCore, procs, global, steps,
+                                  params, opts, real_leaves);
+    table.row({"in-core-octree 20GB", "all octants",
+               TablePrinter::num(incore.cluster.total_s, 1), "-",
+               std::to_string(incore.nvbm_writes)});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: time falls monotonically as the C0 DRAM "
+              "grows (paper: 233.5s -> 89.1s); merges frequent at 1GB "
+              "(paper: 491), rare at 8GB; PM at 1GB still far faster than "
+              "out-of-core; PM at 8GB close to in-core.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 11 reproduction: effectiveness of the dynamic layout
+// transformation — execution time with and without it over growing mesh
+// sizes (paper: 1.19M, 3.75M, 6.75M, 22.5M, 224M elements on 100 procs).
+//
+// Expected shape (paper): no benefit while the mesh fits in DRAM; at
+// 224M elements (C0 holds only ~7% of octants) the transformation cuts
+// execution time by ~25% and NVBM writes by ~31%. Also reports the §3.3
+// micro-result: the locality-oblivious layout serves up to 89% more NVBM
+// writes on a refinement pass.
+#include "bench_common.hpp"
+
+using namespace pmo;
+using namespace pmo::bench;
+
+int main() {
+  print_table2_header("Figure 11: dynamic layout transformation");
+  const int procs = 100;
+  const int steps = 8;
+  // Fixed per-node C0 capacity; the mesh grows past it (at the largest
+  // size C0 holds only a small fraction, like the paper's 7%).
+  const double c0_per_node = 0.07 * (224.0e6 / procs) * bench_scale();
+
+  amr::DropletParams params;
+  params.min_level = 3;
+  params.max_level = 5;
+  params.dt = 0.12;
+  const auto real_leaves = probe_leaves(params);
+  std::printf("real mesh: %zu leaves; C0 capacity %s octants/node\n\n",
+              real_leaves, elems(c0_per_node).c_str());
+
+  TablePrinter table({"elements", "C0 share", "time w/o (s)",
+                      "time w/ (s)", "time saved", "NVBM writes saved"});
+  for (const double mesh_elems :
+       {1.19e6, 3.75e6, 6.75e6, 22.5e6, 224.0e6}) {
+    const double target = mesh_elems * bench_scale();
+    PointOpts with_opts;
+    with_opts.c0_octants_per_node = c0_per_node;
+    with_opts.enable_transform = true;
+    PointOpts without_opts = with_opts;
+    without_opts.enable_transform = false;
+
+    const auto with_t = run_point(Backend::kPm, procs, target, steps,
+                                  params, with_opts, real_leaves);
+    const auto without_t = run_point(Backend::kPm, procs, target, steps,
+                                     params, without_opts, real_leaves);
+    const double t_saved = 100.0 * (without_t.cluster.total_s -
+                                    with_t.cluster.total_s) /
+                           without_t.cluster.total_s;
+    const double w_saved =
+        100.0 *
+        (static_cast<double>(without_t.nvbm_writes) -
+         static_cast<double>(with_t.nvbm_writes)) /
+        static_cast<double>(without_t.nvbm_writes);
+    const double share =
+        std::min(1.0, c0_per_node / (target / procs)) * 100.0;
+    table.row({elems(target), TablePrinter::num(share, 0) + "%",
+               TablePrinter::num(without_t.cluster.total_s, 1),
+               TablePrinter::num(with_t.cluster.total_s, 1),
+               TablePrinter::num(t_saved, 1) + "%",
+               TablePrinter::num(w_saved, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: savings ~0 while C0 covers the mesh; "
+              "large meshes save ~25%% time / ~31%% NVBM writes with the "
+              "transformation (paper, 224M elements).\n");
+
+  // §3.3 micro-result: writes served by NVBM during a refinement pass,
+  // locality-aware vs locality-oblivious layout.
+  auto refine_writes = [&](bool transform) {
+    pmoctree::PmConfig pm;
+    pm.dram_budget_bytes = budget_for(c0_per_node, 224.0e6 / procs,
+                                      real_leaves);
+    pm.enable_transform = transform;
+    auto bundle = make_pm(std::size_t{256} << 20, pm);
+    amr::DropletWorkload wl(params);
+    register_droplet_feature(bundle, wl);
+    wl.initialize(*bundle.mesh);
+    wl.step(*bundle.mesh, 0);  // persist (+ transform when enabled)
+    bundle.device->reset_counters();
+    // Solver writes concentrated on the hot window (§3.3's pass).
+    for (int pass = 0; pass < 3; ++pass) {
+      bundle.mesh->sweep_leaves([&](const LocCode& c, CellData& d) {
+        if (!wl.hot_feature(c, d)) return false;
+        d.tracer += 0.5;
+        return true;
+      });
+    }
+    return bundle.device->counters().writes;
+  };
+  const auto aware = refine_writes(true);
+  const auto oblivious = refine_writes(false);
+  std::printf("\nSec 3.3 micro-result: oblivious layout serves %.0f%% "
+              "more NVBM writes than the transformed layout on hot-band "
+              "passes (paper: up to 89%% more).\n",
+              100.0 * (static_cast<double>(oblivious) /
+                           std::max<std::uint64_t>(1, aware) -
+                       1.0));
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Micro-benchmarks (google-benchmark) for the substrate operations:
+// Morton codes, device latency model, heap allocation, PM-octree ops and
+// the baseline index. These are sanity/regression benches, not paper
+// figures.
+#include <benchmark/benchmark.h>
+
+#include "baseline/bptree.hpp"
+#include "bench_common.hpp"
+
+using namespace pmo;
+
+namespace {
+
+void BM_MortonEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::uint32_t x = 123456, y = 654321, z = 111111;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(morton_encode3(x, y, z));
+    x += 7;
+    y += 13;
+    z += 29;
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_MortonDecode(benchmark::State& state) {
+  std::uint64_t code = 0x123456789abcull;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(morton_decode3(code));
+    code += 1234567;
+  }
+}
+BENCHMARK(BM_MortonDecode);
+
+void BM_LocCodeNeighbor(benchmark::State& state) {
+  const auto code = LocCode::from_grid(8, 100, 150, 200);
+  LocCode out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.neighbor(1, -1, 0, out));
+  }
+}
+BENCHMARK(BM_LocCodeNeighbor);
+
+void BM_DeviceWriteModeled(benchmark::State& state) {
+  nvbm::Device dev(16 << 20, bench::device_config());
+  std::uint64_t v = 42;
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    dev.write(off, &v, sizeof(v));
+    off = (off + 64) & ((16 << 20) - 64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeviceWriteModeled);
+
+void BM_DeviceWriteInjected(benchmark::State& state) {
+  nvbm::Config cfg = bench::device_config();
+  cfg.latency_mode = nvbm::LatencyMode::kInjected;  // real 150ns spins
+  nvbm::Device dev(16 << 20, cfg);
+  std::uint64_t v = 42;
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    dev.write(off, &v, sizeof(v));
+    off = (off + 64) & ((16 << 20) - 64);
+  }
+}
+BENCHMARK(BM_DeviceWriteInjected);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  nvbm::Device dev(64 << 20, bench::device_config());
+  nvbm::Heap heap(dev);
+  for (auto _ : state) {
+    const auto off = heap.alloc(sizeof(pmoctree::PNode));
+    heap.free(off);
+  }
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void BM_PmInsert(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvbm::Heap heap(dev);
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = static_cast<std::size_t>(state.range(0));
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  Rng rng(7);
+  CellData d;
+  for (auto _ : state) {
+    const int level = 4;
+    const std::uint32_t side = 1u << level;
+    const auto code = LocCode::from_grid(
+        level, static_cast<std::uint32_t>(rng.below(side)),
+        static_cast<std::uint32_t>(rng.below(side)),
+        static_cast<std::uint32_t>(rng.below(side)));
+    tree.insert(code, d);
+  }
+}
+BENCHMARK(BM_PmInsert)->Arg(0)->Arg(64 << 20)
+    ->ArgNames({"dram_budget"});
+
+void BM_PmUpdateShared(benchmark::State& state) {
+  // Copy-on-write update cost right after a persist (worst case).
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvbm::Heap heap(dev);
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 0;
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  for (int l = 0; l < 3; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  CellData d;
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tree.persist();  // make everything shared again
+    state.ResumeTiming();
+    const auto code = LocCode::from_grid(
+        3, static_cast<std::uint32_t>(rng.below(8)),
+        static_cast<std::uint32_t>(rng.below(8)),
+        static_cast<std::uint32_t>(rng.below(8)));
+    tree.update(code, d);
+  }
+}
+BENCHMARK(BM_PmUpdateShared)->Iterations(200);
+
+void BM_PmPersist(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvbm::Heap heap(dev);
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 16 << 20;
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  for (int l = 0; l < 3; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  CellData d;
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Dirty ~10% of leaves between persists.
+    for (int i = 0; i < 50; ++i) {
+      const auto code = LocCode::from_grid(
+          3, static_cast<std::uint32_t>(rng.below(8)),
+          static_cast<std::uint32_t>(rng.below(8)),
+          static_cast<std::uint32_t>(rng.below(8)));
+      d.vof = rng.uniform();
+      tree.update(code, d);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.persist());
+  }
+}
+BENCHMARK(BM_PmPersist)->Iterations(50);
+
+void BM_PmTraverseLeaves(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvbm::Heap heap(dev);
+  auto tree = pmoctree::PmOctree::create(heap, pmoctree::PmConfig{});
+  for (int l = 0; l < 4; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  for (auto _ : state) {
+    std::size_t n = 0;
+    tree.for_each_leaf([&](const LocCode&, const CellData&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 4096));
+}
+BENCHMARK(BM_PmTraverseLeaves);
+
+void BM_BptreeInsert(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvfs::FileStore fs(dev);
+  baseline::Bptree tree(fs, "bench");
+  Rng rng(13);
+  baseline::OctantRecord rec{};
+  rec.level = 5;
+  for (auto _ : state) {
+    rec.key = rng();
+    tree.insert(rec);
+  }
+}
+BENCHMARK(BM_BptreeInsert);
+
+void BM_BptreeFind(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvfs::FileStore fs(dev);
+  baseline::Bptree tree(fs, "bench");
+  Rng rng(13);
+  baseline::OctantRecord rec{};
+  for (int i = 0; i < 50000; ++i) {
+    rec.key = static_cast<std::uint64_t>(i) * 97;
+    tree.insert(rec);
+  }
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find((probe % 50000) * 97));
+    probe += 7919;
+  }
+}
+BENCHMARK(BM_BptreeFind);
+
+void BM_EtreeCoverProbe(benchmark::State& state) {
+  // The per-access index-probing cost the paper blames for out-of-core
+  // slowness on NVBM.
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  baseline::EtreeBackend mesh(dev);
+  for (int l = 0; l < 4; ++l) {
+    mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                      nullptr);
+  }
+  Rng rng(17);
+  for (auto _ : state) {
+    const auto probe = LocCode::from_grid(
+        6, static_cast<std::uint32_t>(rng.below(64)),
+        static_cast<std::uint32_t>(rng.below(64)),
+        static_cast<std::uint32_t>(rng.below(64)));
+    benchmark::DoNotOptimize(mesh.cover(probe));
+  }
+}
+BENCHMARK(BM_EtreeCoverProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+#include "amr/extract.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace pmo::amr {
+
+std::size_t write_vtk(MeshBackend& mesh, const std::string& path) {
+  struct Cell {
+    std::array<double, 3> center;
+    double half;
+    CellData data;
+  };
+  std::vector<Cell> cells;
+  mesh.visit_leaves([&](const LocCode& code, const CellData& d) {
+    cells.push_back({code.center_unit(), 0.5 * code.size_unit(), d});
+  });
+
+  std::ofstream os(path);
+  PMO_CHECK_MSG(os.good(), "cannot open " << path);
+  os << "# vtk DataFile Version 3.0\n"
+     << "PM-octree extracted mesh\n"
+     << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << cells.size() * 8 << " double\n";
+  for (const auto& c : cells) {
+    for (int k = 0; k < 2; ++k)
+      for (int j = 0; j < 2; ++j)
+        for (int i = 0; i < 2; ++i) {
+          os << c.center[0] + (i == 0 ? -c.half : c.half) << " "
+             << c.center[1] + (j == 0 ? -c.half : c.half) << " "
+             << c.center[2] + (k == 0 ? -c.half : c.half) << "\n";
+        }
+  }
+  os << "CELLS " << cells.size() << " " << cells.size() * 9 << "\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto b = i * 8;
+    // VTK_VOXEL ordering matches our (i,j,k) nesting.
+    os << "8 " << b << " " << b + 1 << " " << b + 2 << " " << b + 3 << " "
+       << b + 4 << " " << b + 5 << " " << b + 6 << " " << b + 7 << "\n";
+  }
+  os << "CELL_TYPES " << cells.size() << "\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) os << "11\n";  // VTK_VOXEL
+  os << "CELL_DATA " << cells.size() << "\n";
+  os << "SCALARS vof double 1\nLOOKUP_TABLE default\n";
+  for (const auto& c : cells) os << c.data.vof << "\n";
+  os << "SCALARS tracer double 1\nLOOKUP_TABLE default\n";
+  for (const auto& c : cells) os << c.data.tracer << "\n";
+  os << "SCALARS pressure double 1\nLOOKUP_TABLE default\n";
+  for (const auto& c : cells) os << c.data.pressure << "\n";
+  return cells.size();
+}
+
+void print_slice(MeshBackend& mesh, std::ostream& os, double x_slice,
+                 int cols, int rows) {
+  // Rasterize by sampling the leaf containing each pixel center.
+  for (int r = 0; r < rows; ++r) {
+    const double z = 1.0 - (r + 0.5) / rows;  // top of domain first
+    for (int c = 0; c < cols; ++c) {
+      const double y = (c + 0.5) / cols;
+      const auto grid = [&](double v) {
+        return static_cast<std::uint32_t>(
+            std::clamp(v, 0.0, 0.999999) * (1u << 10));
+      };
+      const auto probe =
+          LocCode::from_grid(10, grid(x_slice), grid(y), grid(z));
+      const double vof = mesh.sample(probe).vof;
+      os << (vof > 0.99 ? '#' : (vof > 0.01 ? '+' : '.'));
+    }
+    os << "\n";
+  }
+}
+
+MeshSummary summarize(MeshBackend& mesh) {
+  MeshSummary s;
+  s.min_level = kMaxLevel;
+  mesh.visit_leaves([&](const LocCode& code, const CellData& d) {
+    ++s.leaves;
+    s.min_level = std::min(s.min_level, code.level());
+    s.max_level = std::max(s.max_level, code.level());
+    if (is_interface_cell(d)) ++s.interface_cells;
+    const double h = code.size_unit();
+    s.liquid_volume += d.vof * h * h * h;
+  });
+  if (s.leaves == 0) s.min_level = 0;
+  return s;
+}
+
+}  // namespace pmo::amr

@@ -1,0 +1,35 @@
+// Mesh extraction (the paper's Extract routine, §2): converts the leaf
+// mesh into flat visualization structures — a legacy-VTK unstructured
+// grid file for ParaView-style tools, and a quick ASCII slice for
+// terminals. Extract is executed on demand (the paper excludes it from
+// the timed runs; so do our benches).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "amr/mesh_backend.hpp"
+
+namespace pmo::amr {
+
+/// Writes the leaf mesh as a legacy VTK unstructured grid (hexahedra)
+/// with vof/tracer/pressure cell data. Returns the number of cells.
+std::size_t write_vtk(MeshBackend& mesh, const std::string& path);
+
+/// Renders an axis-aligned slice (x = x_slice plane) of the vof field as
+/// ASCII art into `os`: '#' liquid, '+' interface, '.' gas. `cols`/`rows`
+/// set the raster size.
+void print_slice(MeshBackend& mesh, std::ostream& os, double x_slice = 0.5,
+                 int cols = 64, int rows = 32);
+
+/// Summary of a mesh for quick reporting.
+struct MeshSummary {
+  std::size_t leaves = 0;
+  std::size_t interface_cells = 0;
+  int min_level = 0;
+  int max_level = 0;
+  double liquid_volume = 0.0;
+};
+MeshSummary summarize(MeshBackend& mesh);
+
+}  // namespace pmo::amr

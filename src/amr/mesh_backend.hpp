@@ -1,0 +1,79 @@
+// Backend abstraction over the three octree implementations the paper
+// evaluates (§5.1): in-core-octree (Gerris), out-of-core-octree (Etree),
+// and PM-octree. The AMR workload driver (droplet ejection) runs
+// unmodified on top of any of them; the cluster simulator instantiates one
+// backend per simulated rank.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/morton.hpp"
+#include "octree/cell_data.hpp"
+
+namespace pmo::amr {
+
+/// Predicate deciding whether a leaf should be refined/coarsened.
+using LeafPred = std::function<bool(const LocCode&, const CellData&)>;
+/// Initializer for newly created children.
+using ChildInit = std::function<void(const LocCode&, CellData&)>;
+/// Mutable leaf visitor; returns true when it modified the cell.
+using LeafMutFn = std::function<bool(const LocCode&, CellData&)>;
+/// Read-only leaf visitor.
+using LeafFn = std::function<void(const LocCode&, const CellData&)>;
+
+class MeshBackend {
+ public:
+  virtual ~MeshBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Morton-order sweep over all leaves with write-back of modifications.
+  virtual void sweep_leaves(const LeafMutFn& fn) = 0;
+  /// Region-restricted sweep: subtrees for which `visit_subtree` returns
+  /// false are skipped entirely. Backends with hierarchical structure
+  /// prune; the linear-octree baseline cannot and scans everything (one
+  /// more pointer-free handicap, as in the paper).
+  virtual void sweep_leaves_pruned(
+      const std::function<bool(const LocCode&)>& visit_subtree,
+      const LeafMutFn& fn) {
+    sweep_leaves([&](const LocCode& code, CellData& d) {
+      if (!visit_subtree(code)) return false;
+      return fn(code, d);
+    });
+  }
+  /// Read-only Morton-order leaf visit.
+  virtual void visit_leaves(const LeafFn& fn) = 0;
+
+  /// Refines every leaf matching `pred` one level; returns # splits.
+  virtual std::size_t refine_where(const LeafPred& pred,
+                                   const ChildInit& init = nullptr) = 0;
+  /// Merges every all-leaf sibling group whose members match; returns #.
+  virtual std::size_t coarsen_where(const LeafPred& pred) = 0;
+  /// Enforces the 2:1 constraint; returns # leaves refined.
+  virtual std::size_t balance() = 0;
+
+  /// Data of the leaf containing `code` (for solver stencils).
+  virtual CellData sample(const LocCode& code) = 0;
+
+  virtual std::size_t leaf_count() = 0;
+
+  /// End-of-time-step persistence hook: snapshot for the in-core octree,
+  /// pm_persistent for PM-octree, fsync for Etree.
+  virtual void end_step(int step) = 0;
+
+  /// Restores state from the persistent medium after a (simulated) crash.
+  /// Returns false when the backend cannot recover (e.g. nothing saved).
+  virtual bool recover() = 0;
+
+  // ---- accounting for the scaling/figure harnesses -----------------------
+  /// Total modeled memory+I/O time so far, nanoseconds.
+  virtual std::uint64_t modeled_ns() const = 0;
+  /// NVBM write operations so far (Fig. 11's second metric).
+  virtual std::uint64_t nvbm_writes() const = 0;
+  /// Approximate resident bytes across DRAM and NVBM.
+  virtual std::uint64_t memory_bytes() = 0;
+};
+
+}  // namespace pmo::amr

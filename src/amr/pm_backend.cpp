@@ -1,0 +1,25 @@
+#include "amr/pm_backend.hpp"
+
+namespace pmo::amr {
+
+PmOctreeBackend::PmOctreeBackend(nvbm::Device& device,
+                                 pmoctree::PmConfig pm)
+    : heap_(device), pm_(pm) {
+  tree_ = pmoctree::pm_create(heap_, nullptr, pm_);
+}
+
+void PmOctreeBackend::end_step(int) {
+  last_persist_ = tree_->persist();
+  if (pm_.enable_replica) {
+    replica_bytes_ += replica_mgr_.ship(*tree_, replica_);
+  }
+}
+
+bool PmOctreeBackend::recover() {
+  if (!pmoctree::PmOctree::can_restore(heap_)) return false;
+  retired_ns_ += tree_->dram_counters().modeled_ns();
+  tree_ = pmoctree::pm_restore(heap_, pm_);
+  return true;
+}
+
+}  // namespace pmo::amr

@@ -1,0 +1,355 @@
+#include "baseline/bptree.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pmo::baseline {
+
+Bptree::Bptree(nvfs::FileStore& store, const std::string& file_name,
+               std::size_t cache_pages)
+    : store_(store), cache_capacity_(std::max<std::size_t>(8, cache_pages)) {
+  if (store_.exists(file_name)) {
+    file_ = &store_.open(file_name);
+    file_->pread(0, &meta_, sizeof(meta_));
+    PMO_CHECK_MSG(meta_.magic == kMagic, "not a Bptree file: " << file_name);
+    record_count_ = static_cast<std::size_t>(meta_.records);
+  } else {
+    file_ = &store_.create(file_name);
+    meta_.magic = kMagic;
+    meta_.root = alloc_page(/*leaf=*/true);
+    meta_.height = 1;
+    save_meta();
+  }
+}
+
+Bptree::~Bptree() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor must not throw; an unflushable tree is already lost.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// page accessors
+// ---------------------------------------------------------------------------
+
+Bptree::PageHeader& Bptree::header(Page& p) {
+  return *reinterpret_cast<PageHeader*>(p.bytes.data());
+}
+
+std::uint64_t* Bptree::internal_keys(Page& p) {
+  return reinterpret_cast<std::uint64_t*>(p.bytes.data() + kHeaderSize);
+}
+
+std::uint64_t* Bptree::internal_children(Page& p) {
+  return reinterpret_cast<std::uint64_t*>(p.bytes.data() + kHeaderSize +
+                                          kInternalCap * sizeof(std::uint64_t));
+}
+
+OctantRecord* Bptree::leaf_records(Page& p) {
+  return reinterpret_cast<OctantRecord*>(p.bytes.data() + kHeaderSize);
+}
+
+// ---------------------------------------------------------------------------
+// buffer pool
+// ---------------------------------------------------------------------------
+
+namespace {
+// Per-page-access DRAM search cost: ~log2(fanout) key probes plus one
+// record/child copy, each a cache line at DRAM latency (Table 2: 60 ns).
+constexpr std::uint64_t kPageSearchDramNs = 6 * 60;
+}  // namespace
+
+Bptree::Page& Bptree::fetch(std::uint64_t page_id) {
+  stats_.search_dram_ns += kPageSearchDramNs;
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    lru_.erase(lru_pos_[page_id]);
+    lru_.push_front(page_id);
+    lru_pos_[page_id] = lru_.begin();
+    return it->second;
+  }
+  evict_if_needed();
+  Page page;
+  page.bytes.resize(kPageSize);
+  file_->pread(page_id * kPageSize, page.bytes.data(), kPageSize);
+  ++stats_.page_reads;
+  auto [pos, inserted] = cache_.emplace(page_id, std::move(page));
+  lru_.push_front(page_id);
+  lru_pos_[page_id] = lru_.begin();
+  return pos->second;
+}
+
+void Bptree::mark_dirty(std::uint64_t page_id) {
+  const auto it = cache_.find(page_id);
+  PMO_DCHECK(it != cache_.end());
+  it->second.dirty = true;
+}
+
+void Bptree::write_back(std::uint64_t page_id, Page& page) {
+  if (!page.dirty) return;
+  file_->pwrite(page_id * kPageSize, page.bytes.data(), kPageSize);
+  ++stats_.page_writes;
+  page.dirty = false;
+}
+
+void Bptree::evict_if_needed() {
+  while (cache_.size() >= cache_capacity_) {
+    const auto victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    auto it = cache_.find(victim);
+    write_back(victim, it->second);
+    cache_.erase(it);
+  }
+}
+
+std::uint64_t Bptree::alloc_page(bool leaf) {
+  const std::uint64_t page_id = meta_.next_page++;
+  evict_if_needed();
+  Page page;
+  page.bytes.resize(kPageSize);
+  header(page).is_leaf = leaf ? 1 : 0;
+  header(page).count = 0;
+  header(page).next_leaf = 0;
+  page.dirty = true;
+  cache_.emplace(page_id, std::move(page));
+  lru_.push_front(page_id);
+  lru_pos_[page_id] = lru_.begin();
+  ++stats_.pages;
+  return page_id;
+}
+
+void Bptree::save_meta() {
+  meta_.records = record_count_;
+  file_->pwrite(0, &meta_, sizeof(meta_));
+}
+
+void Bptree::flush() {
+  save_meta();
+  for (auto& [id, page] : cache_) write_back(id, page);
+  file_->fsync();
+}
+
+// ---------------------------------------------------------------------------
+// tree operations
+// ---------------------------------------------------------------------------
+
+std::uint64_t Bptree::find_leaf(std::uint64_t key,
+                                std::vector<std::uint64_t>* path) {
+  std::uint64_t at = meta_.root;
+  for (std::uint64_t h = 1; h < meta_.height; ++h) {
+    if (path != nullptr) path->push_back(at);
+    Page& page = fetch(at);
+    const auto& hdr = header(page);
+    PMO_DCHECK(hdr.is_leaf == 0);
+    const auto* keys = internal_keys(page);
+    const auto* children = internal_children(page);
+    // children[i] covers keys < keys[i]; children[count] covers the rest.
+    std::uint32_t i = 0;
+    while (i < hdr.count && key >= keys[i]) ++i;
+    at = children[i];
+  }
+  return at;
+}
+
+std::optional<OctantRecord> Bptree::find(std::uint64_t key) {
+  Page& leaf = fetch(find_leaf(key));
+  const auto& hdr = header(leaf);
+  const auto* recs = leaf_records(leaf);
+  const auto* end = recs + hdr.count;
+  const auto* it = std::lower_bound(
+      recs, end, key,
+      [](const OctantRecord& r, std::uint64_t k) { return r.key < k; });
+  if (it != end && it->key == key) return *it;
+  return std::nullopt;
+}
+
+std::optional<OctantRecord> Bptree::lower_bound(std::uint64_t key) {
+  std::uint64_t leaf_id = find_leaf(key);
+  while (leaf_id != 0) {
+    Page& leaf = fetch(leaf_id);
+    const auto& hdr = header(leaf);
+    const auto* recs = leaf_records(leaf);
+    const auto* end = recs + hdr.count;
+    const auto* it = std::lower_bound(
+        recs, end, key,
+        [](const OctantRecord& r, std::uint64_t k) { return r.key < k; });
+    if (it != end) return *it;
+    leaf_id = hdr.next_leaf == 0 ? 0 : hdr.next_leaf - 1;
+    key = 0;
+  }
+  return std::nullopt;
+}
+
+void Bptree::scan(std::uint64_t from_key,
+                  const std::function<bool(const OctantRecord&)>& fn) {
+  std::uint64_t leaf_id = find_leaf(from_key);
+  bool first = true;
+  while (leaf_id != 0 || first) {
+    Page& leaf = fetch(first ? leaf_id : leaf_id);
+    first = false;
+    const auto hdr = header(leaf);  // copy: fn may mutate the tree? no —
+                                    // scan is read-only by contract.
+    const auto* recs = leaf_records(leaf);
+    for (std::uint32_t i = 0; i < hdr.count; ++i) {
+      if (recs[i].key < from_key) continue;
+      if (!fn(recs[i])) return;
+    }
+    if (hdr.next_leaf == 0) return;
+    leaf_id = hdr.next_leaf - 1;
+    from_key = 0;
+  }
+}
+
+void Bptree::insert(const OctantRecord& rec) {
+  std::vector<std::uint64_t> path;
+  const std::uint64_t leaf_id = find_leaf(rec.key, &path);
+  Page& leaf = fetch(leaf_id);
+  auto& hdr = header(leaf);
+  auto* recs = leaf_records(leaf);
+  auto* end = recs + hdr.count;
+  auto* it = std::lower_bound(
+      recs, end, rec.key,
+      [](const OctantRecord& r, std::uint64_t k) { return r.key < k; });
+  if (it != end && it->key == rec.key) {
+    *it = rec;  // replace
+    mark_dirty(leaf_id);
+    return;
+  }
+  // Shift right and insert.
+  const auto pos = static_cast<std::size_t>(it - recs);
+  std::memmove(recs + pos + 1, recs + pos,
+               (hdr.count - pos) * sizeof(OctantRecord));
+  recs[pos] = rec;
+  ++hdr.count;
+  ++record_count_;
+  mark_dirty(leaf_id);
+
+  if (hdr.count < kLeafCap) return;
+
+  // Split the leaf.
+  ++stats_.splits;
+  const std::uint64_t right_id = alloc_page(/*leaf=*/true);
+  // alloc_page may evict; refetch the left page.
+  Page& left = fetch(leaf_id);
+  Page& right = fetch(right_id);
+  auto& lh = header(left);
+  auto& rh = header(right);
+  auto* lrecs = leaf_records(left);
+  auto* rrecs = leaf_records(right);
+  const std::uint32_t half = lh.count / 2;
+  rh.count = lh.count - half;
+  std::memcpy(rrecs, lrecs + half, rh.count * sizeof(OctantRecord));
+  lh.count = half;
+  rh.next_leaf = lh.next_leaf;
+  lh.next_leaf = right_id + 1;
+  mark_dirty(leaf_id);
+  mark_dirty(right_id);
+  insert_into_parent(path, leaf_id, rrecs[0].key, right_id);
+}
+
+void Bptree::insert_into_parent(std::vector<std::uint64_t>& path,
+                                std::uint64_t left, std::uint64_t sep,
+                                std::uint64_t right) {
+  if (path.empty()) {
+    // New root.
+    const std::uint64_t root_id = alloc_page(/*leaf=*/false);
+    Page& root = fetch(root_id);
+    auto& hdr = header(root);
+    hdr.count = 1;
+    internal_keys(root)[0] = sep;
+    internal_children(root)[0] = left;
+    internal_children(root)[1] = right;
+    mark_dirty(root_id);
+    meta_.root = root_id;
+    ++meta_.height;
+    save_meta();
+    return;
+  }
+  const std::uint64_t parent_id = path.back();
+  path.pop_back();
+  Page& parent = fetch(parent_id);
+  auto& hdr = header(parent);
+  auto* keys = internal_keys(parent);
+  auto* children = internal_children(parent);
+  std::uint32_t pos = 0;
+  while (pos < hdr.count && sep >= keys[pos]) ++pos;
+  std::memmove(keys + pos + 1, keys + pos,
+               (hdr.count - pos) * sizeof(std::uint64_t));
+  std::memmove(children + pos + 2, children + pos + 1,
+               (hdr.count - pos) * sizeof(std::uint64_t));
+  keys[pos] = sep;
+  children[pos + 1] = right;
+  ++hdr.count;
+  mark_dirty(parent_id);
+  (void)left;
+
+  if (hdr.count < kInternalCap) return;
+
+  // Split the internal page.
+  ++stats_.splits;
+  const std::uint64_t right_id = alloc_page(/*leaf=*/false);
+  Page& lpage = fetch(parent_id);
+  Page& rpage = fetch(right_id);
+  auto& lh = header(lpage);
+  auto& rh = header(rpage);
+  auto* lkeys = internal_keys(lpage);
+  auto* lchildren = internal_children(lpage);
+  auto* rkeys = internal_keys(rpage);
+  auto* rchildren = internal_children(rpage);
+  const std::uint32_t mid = lh.count / 2;
+  const std::uint64_t up_key = lkeys[mid];
+  rh.count = lh.count - mid - 1;
+  std::memcpy(rkeys, lkeys + mid + 1, rh.count * sizeof(std::uint64_t));
+  std::memcpy(rchildren, lchildren + mid + 1,
+              (rh.count + 1) * sizeof(std::uint64_t));
+  lh.count = mid;
+  mark_dirty(parent_id);
+  mark_dirty(right_id);
+  insert_into_parent(path, parent_id, up_key, right_id);
+}
+
+bool Bptree::erase(std::uint64_t key) {
+  const std::uint64_t leaf_id = find_leaf(key);
+  Page& leaf = fetch(leaf_id);
+  auto& hdr = header(leaf);
+  auto* recs = leaf_records(leaf);
+  auto* end = recs + hdr.count;
+  auto* it = std::lower_bound(
+      recs, end, key,
+      [](const OctantRecord& r, std::uint64_t k) { return r.key < k; });
+  if (it == end || it->key != key) return false;
+  const auto pos = static_cast<std::size_t>(it - recs);
+  std::memmove(recs + pos, recs + pos + 1,
+               (hdr.count - pos - 1) * sizeof(OctantRecord));
+  --hdr.count;
+  --record_count_;
+  mark_dirty(leaf_id);
+  return true;
+}
+
+void Bptree::update(const OctantRecord& rec) {
+  const std::uint64_t leaf_id = find_leaf(rec.key);
+  Page& leaf = fetch(leaf_id);
+  auto& hdr = header(leaf);
+  auto* recs = leaf_records(leaf);
+  auto* end = recs + hdr.count;
+  auto* it = std::lower_bound(
+      recs, end, rec.key,
+      [](const OctantRecord& r, std::uint64_t k) { return r.key < k; });
+  PMO_CHECK_MSG(it != end && it->key == rec.key,
+                "Bptree::update of missing key");
+  *it = rec;
+  mark_dirty(leaf_id);
+}
+
+BptreeStats Bptree::stats() {
+  stats_.records = record_count_;
+  stats_.height = static_cast<int>(meta_.height);
+  return stats_;
+}
+
+}  // namespace pmo::baseline

@@ -1,0 +1,173 @@
+// Paged B+-tree over the NVBM file layer — the index substrate of the
+// Etree-style out-of-core octree baseline (§2, §5.1).
+//
+// Etree stores octants as fixed-size records in 4 KiB pages and maintains
+// a B-tree keyed by each octant's Z-value (Morton key) for lookup. This
+// reimplementation keeps the same structure: all pages (internal and
+// leaf) live "on storage" — an nvfs::File over the emulated NVBM device —
+// and every page touch goes through a small LRU buffer pool, paying page
+// granularity I/O plus file-layer software overhead. That cost structure
+// is exactly what the paper blames for the out-of-core baseline's
+// slowness on NVBM.
+//
+// In a valid linear octree no two leaves share an anchor, so the Morton
+// key alone is a unique key; the refinement level travels in the record.
+// Deletion is lazy (no page merging), as in the original Etree library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/morton.hpp"
+#include "nvfs/file_store.hpp"
+#include "octree/cell_data.hpp"
+
+namespace pmo::baseline {
+
+/// One stored octant.
+struct OctantRecord {
+  std::uint64_t key = 0;  ///< Morton key (Z-value) on the finest grid
+  std::uint8_t level = 0;
+  CellData data;
+
+  LocCode code() const {
+    const auto a = morton_decode3(key);
+    const int shift = kMaxLevel - level;
+    return LocCode::from_grid(level, a[0] >> shift, a[1] >> shift,
+                              a[2] >> shift);
+  }
+  static OctantRecord from(const LocCode& c, const CellData& d) {
+    OctantRecord r;
+    r.key = c.key();
+    r.level = static_cast<std::uint8_t>(c.level());
+    r.data = d;
+    return r;
+  }
+};
+
+struct BptreeStats {
+  std::uint64_t page_reads = 0;   ///< buffer-pool misses (real I/O)
+  std::uint64_t page_writes = 0;  ///< write-backs
+  std::uint64_t cache_hits = 0;
+  std::uint64_t splits = 0;
+  /// Modeled DRAM time spent searching buffered pages: every page access
+  /// (hit or miss) still walks the page in memory — binary search over
+  /// keys plus the record copy. This is the "data indexing only incurs
+  /// additional memory latency" cost the paper charges Etree-style
+  /// designs with (§1).
+  std::uint64_t search_dram_ns = 0;
+  std::size_t pages = 0;
+  std::size_t records = 0;
+  int height = 0;
+};
+
+class Bptree {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  /// Opens (or creates) the tree in `file` within the store. `cache_pages`
+  /// bounds the buffer pool.
+  Bptree(nvfs::FileStore& store, const std::string& file_name,
+         std::size_t cache_pages = 256);
+  ~Bptree();
+
+  Bptree(const Bptree&) = delete;
+  Bptree& operator=(const Bptree&) = delete;
+
+  /// Inserts or replaces the record with this key.
+  void insert(const OctantRecord& rec);
+  /// Removes the record; returns false if absent. Lazy: pages never merge.
+  bool erase(std::uint64_t key);
+  std::optional<OctantRecord> find(std::uint64_t key);
+  /// Smallest record with key >= `key` (for cover probing / scans).
+  std::optional<OctantRecord> lower_bound(std::uint64_t key);
+
+  /// In-order scan starting at `from_key`; stop when fn returns false.
+  void scan(std::uint64_t from_key,
+            const std::function<bool(const OctantRecord&)>& fn);
+  /// Full in-order scan.
+  void scan_all(const std::function<bool(const OctantRecord&)>& fn) {
+    scan(0, fn);
+  }
+
+  /// Rewrites a record's payload in place (key must exist).
+  void update(const OctantRecord& rec);
+
+  /// Flushes all dirty pages to the device (end-of-step durability).
+  void flush();
+
+  std::size_t size() const noexcept { return record_count_; }
+  BptreeStats stats();
+  /// Modeled DRAM search time accumulated so far (see BptreeStats).
+  std::uint64_t search_dram_ns() const noexcept {
+    return stats_.search_dram_ns;
+  }
+
+ private:
+  // On-page layouts. Pages are raw byte arrays interpreted through these
+  // fixed offsets; everything is little-endian POD.
+  struct PageHeader {
+    std::uint32_t is_leaf = 0;
+    std::uint32_t count = 0;
+    std::uint64_t next_leaf = 0;  ///< leaf chain (page id + 1; 0 = none)
+  };
+  static constexpr std::size_t kHeaderSize = sizeof(PageHeader);
+  static constexpr std::size_t kRecordSize = 64;
+  static_assert(sizeof(OctantRecord) <= kRecordSize);
+  static constexpr std::size_t kLeafCap =
+      (kPageSize - kHeaderSize) / kRecordSize;  // 63
+  static constexpr std::size_t kInternalCap =
+      (kPageSize - kHeaderSize) / 16 - 1;  // keys + child ids
+
+  struct Page {
+    std::vector<std::byte> bytes;
+    bool dirty = false;
+  };
+
+  struct Meta {
+    std::uint64_t magic = 0;
+    std::uint64_t root = 0;
+    std::uint64_t next_page = 1;
+    std::uint64_t height = 1;
+    std::uint64_t records = 0;
+  };
+  static constexpr std::uint64_t kMagic = 0x45545245455f4250ull;
+
+  // buffer pool -------------------------------------------------------------
+  Page& fetch(std::uint64_t page_id);
+  void mark_dirty(std::uint64_t page_id);
+  std::uint64_t alloc_page(bool leaf);
+  void write_back(std::uint64_t page_id, Page& page);
+  void evict_if_needed();
+
+  // page accessors ----------------------------------------------------------
+  static PageHeader& header(Page& p);
+  static std::uint64_t* internal_keys(Page& p);
+  static std::uint64_t* internal_children(Page& p);
+  static OctantRecord* leaf_records(Page& p);
+
+  // tree ops ----------------------------------------------------------------
+  std::uint64_t find_leaf(std::uint64_t key,
+                          std::vector<std::uint64_t>* path = nullptr);
+  void insert_into_parent(std::vector<std::uint64_t>& path,
+                          std::uint64_t left, std::uint64_t sep,
+                          std::uint64_t right);
+  void save_meta();
+
+  nvfs::FileStore& store_;
+  nvfs::File* file_;
+  Meta meta_;
+  std::size_t record_count_ = 0;
+  std::size_t cache_capacity_;
+  std::unordered_map<std::uint64_t, Page> cache_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      lru_pos_;
+  BptreeStats stats_;
+};
+
+}  // namespace pmo::baseline

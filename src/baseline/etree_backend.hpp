@@ -1,0 +1,60 @@
+// Out-of-core-octree baseline: an Etree-style *linear* octree (§5.1).
+//
+// Only leaves are stored, as fixed records in 4 KiB pages behind a B+-tree
+// indexed by Z-value, accessed through the file-system layer on NVBM. No
+// parent/child/neighbor pointers exist, so:
+//   * neighbor lookup = index probes over every candidate ancestor level;
+//   * Balance must search all 26 neighbors per octant through the index —
+//     the paper's explanation for the baseline's poor balancing time.
+#pragma once
+
+#include <memory>
+
+#include "amr/mesh_backend.hpp"
+#include "baseline/bptree.hpp"
+
+namespace pmo::baseline {
+
+struct EtreeConfig {
+  std::size_t cache_pages = 256;   ///< buffer-pool size
+  nvfs::FsConfig fs;               ///< file-layer cost model
+};
+
+class EtreeBackend final : public amr::MeshBackend {
+ public:
+  /// Builds a fresh linear octree (root octant only) on `device`.
+  EtreeBackend(nvbm::Device& device, EtreeConfig config = {});
+
+  std::string name() const override { return "out-of-core-octree"; }
+
+  void sweep_leaves(const amr::LeafMutFn& fn) override;
+  void visit_leaves(const amr::LeafFn& fn) override;
+  std::size_t refine_where(const amr::LeafPred& pred,
+                           const amr::ChildInit& init) override;
+  std::size_t coarsen_where(const amr::LeafPred& pred) override;
+  std::size_t balance() override;
+  CellData sample(const LocCode& code) override;
+  std::size_t leaf_count() override { return tree_->size(); }
+  void end_step(int step) override;
+  bool recover() override;
+
+  std::uint64_t modeled_ns() const override;
+  std::uint64_t nvbm_writes() const override {
+    return device_.counters().writes;
+  }
+  std::uint64_t memory_bytes() override;
+
+  /// Refines one leaf (8 index deletions/insertions). Exposed for tests.
+  void refine_leaf(const OctantRecord& rec, const amr::ChildInit& init);
+  /// The covering leaf of `code`: exact match or nearest ancestor.
+  std::optional<OctantRecord> cover(const LocCode& code);
+  Bptree& index() { return *tree_; }
+
+ private:
+  nvbm::Device& device_;
+  nvfs::FileStore store_;
+  std::unique_ptr<Bptree> tree_;
+  std::uint64_t retired_ns_ = 0;  ///< search time of replaced index objects
+};
+
+}  // namespace pmo::baseline

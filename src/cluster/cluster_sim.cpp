@@ -1,0 +1,143 @@
+#include "cluster/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmo::cluster {
+
+namespace {
+
+/// Distributes a global routine time over ranks proportionally to the
+/// per-rank weights, scaled to the target element count.
+double rank_share_s(std::uint64_t global_ns, std::size_t weight,
+                    std::size_t weight_total, double scale, int procs) {
+  if (weight_total == 0) {
+    return static_cast<double>(global_ns) * 1e-9 * scale /
+           static_cast<double>(procs);
+  }
+  return static_cast<double>(global_ns) * 1e-9 *
+         (static_cast<double>(weight) / static_cast<double>(weight_total)) *
+         scale;
+}
+
+}  // namespace
+
+ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
+                              amr::DropletWorkload& wl) {
+  ClusterResult out;
+  const int procs = config_.procs;
+  const double scale = config_.scale;
+  // Boundary (ghost-layer) octant counts grow with the surface of a
+  // rank's subdomain: scale^(2/3) of the measured count.
+  const double boundary_scale = std::pow(scale, 2.0 / 3.0);
+
+  // Construct: embarrassingly parallel; each rank builds its share.
+  const std::uint64_t construct_ns = wl.initialize(mesh);
+  const double construct_s =
+      static_cast<double>(construct_ns) * 1e-9 * scale /
+      static_cast<double>(procs);
+  out.breakdown.add_seconds("Construct", construct_s);
+  out.total_s += construct_s;
+
+  std::unordered_map<LocCode, int, LocCodeHash> prev_owner;
+
+  for (int step = 0; step < config_.steps; ++step) {
+    const auto st = wl.step(mesh, step, /*persist=*/true);
+
+    // Global mesh census: leaf codes in Morton order + hot (interface)
+    // flags for work-distribution weighting.
+    std::vector<LocCode> codes;
+    std::vector<bool> hot;
+    codes.reserve(st.leaves);
+    hot.reserve(st.leaves);
+    mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+      codes.push_back(c);
+      hot.push_back(is_interface_cell(d, 1e-3));
+    });
+
+    const auto part = partition_leaves(std::move(codes), procs);
+    const auto stats = analyze_partition(part, prev_owner);
+    prev_owner = owner_map(part);
+    out.total_migrated += stats.migrated;
+    out.max_imbalance = std::max(out.max_imbalance, stats.imbalance);
+
+    // Per-rank hot counts.
+    std::vector<std::size_t> hot_r(static_cast<std::size_t>(procs), 0);
+    std::size_t hot_total = 0;
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (hot[i]) {
+        ++hot_r[static_cast<std::size_t>(part.owner_of_index(i))];
+        ++hot_total;
+      }
+    }
+
+    // Derived tree-surgery cost (per created/destroyed octant) for the
+    // Partition model: prefer the backend's own measured refine cost.
+    const std::size_t churn = 8 * (st.refined + st.coarsened);
+    double surgery_s = config_.comm.default_surgery_s;
+    if (churn > 0) {
+      surgery_s = std::clamp(
+          static_cast<double>(st.refine_coarsen_ns) * 1e-9 /
+              static_cast<double>(churn),
+          1e-7, 1e-4);
+    }
+
+    const double migrated_per_rank =
+        procs > 1 ? static_cast<double>(stats.migrated) * scale /
+                        static_cast<double>(procs)
+                  : 0.0;
+
+    // Per-rank step time; the step completes when the slowest rank does.
+    double worst = 0.0;
+    int worst_rank = 0;
+    std::vector<double> advect(static_cast<std::size_t>(procs));
+    std::vector<double> refine(static_cast<std::size_t>(procs));
+    std::vector<double> bal(static_cast<std::size_t>(procs));
+    std::vector<double> solve(static_cast<std::size_t>(procs));
+    std::vector<double> persist(static_cast<std::size_t>(procs));
+    std::vector<double> partit(static_cast<std::size_t>(procs));
+    for (int r = 0; r < procs; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const std::size_t cnt = stats.counts[ri];
+      advect[ri] = rank_share_s(st.advect_ns, cnt, part.leaves.size(),
+                                scale, procs);
+      refine[ri] = rank_share_s(st.refine_coarsen_ns, hot_r[ri], hot_total,
+                                scale, procs);
+      solve[ri] =
+          rank_share_s(st.solve_ns, cnt, part.leaves.size(), scale, procs);
+      persist[ri] = rank_share_s(st.persist_ns, cnt, part.leaves.size(),
+                                 scale, procs);
+      const double bal_compute = rank_share_s(
+          st.balance_ns, hot_r[ri], hot_total, scale, procs);
+      const double bal_comm = balance_comm_time(
+          config_.comm, procs,
+          static_cast<double>(stats.boundary[ri]) * boundary_scale,
+          config_.octant_bytes);
+      bal[ri] = bal_compute + bal_comm;
+      partit[ri] = partition_time(
+          config_.comm, procs, static_cast<double>(cnt) * scale,
+          migrated_per_rank, surgery_s, config_.octant_bytes);
+      const double total = advect[ri] + refine[ri] + bal[ri] + solve[ri] +
+                           persist[ri] + partit[ri];
+      if (total > worst) {
+        worst = total;
+        worst_rank = r;
+      }
+    }
+    const auto wr = static_cast<std::size_t>(worst_rank);
+    out.breakdown.add_seconds("Advect", advect[wr]);
+    out.breakdown.add_seconds("Refine&Coarsen", refine[wr]);
+    out.breakdown.add_seconds("Balance", bal[wr]);
+    out.breakdown.add_seconds("Solve", solve[wr]);
+    out.breakdown.add_seconds("Persist", persist[wr]);
+    out.breakdown.add_seconds("Partition", partit[wr]);
+    out.step_seconds.push_back(worst);
+    out.total_s += worst;
+  }
+
+  out.real_leaves = mesh.leaf_count();
+  out.global_elements = static_cast<double>(out.real_leaves) * scale;
+  return out;
+}
+
+}  // namespace pmo::cluster

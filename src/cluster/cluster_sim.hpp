@@ -1,0 +1,58 @@
+// Rank-level cluster simulator (§5 substitution for Titan).
+//
+// Runs the droplet workload for real on one backend at laptop scale,
+// measures per-routine modeled time and structural dynamics (partition
+// migration, ghost boundaries, work distribution), then layers the
+// communication model on top to produce per-step wall-clock times for P
+// simulated ranks at `scale`x the real element count. Weak/strong scaling
+// *shapes* derive from measured costs; only the interconnect constants
+// are modeled (see comm_model.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/droplet.hpp"
+#include "amr/mesh_backend.hpp"
+#include "cluster/comm_model.hpp"
+#include "cluster/partition.hpp"
+#include "common/timing.hpp"
+
+namespace pmo::cluster {
+
+struct ClusterConfig {
+  int procs = 1;
+  int steps = 20;
+  /// Target-to-real element multiplier: global target elements =
+  /// (real leaves) * scale.
+  double scale = 1.0;
+  CommConfig comm;
+  /// Octant wire/record size for communication volumes.
+  double octant_bytes = 160.0;
+};
+
+struct ClusterResult {
+  double total_s = 0.0;
+  TimeBreakdown breakdown;  ///< modeled seconds per routine
+  std::vector<double> step_seconds;
+  std::size_t real_leaves = 0;      ///< final real mesh size
+  double global_elements = 0.0;     ///< real_leaves * scale
+  double max_imbalance = 1.0;
+  std::size_t total_migrated = 0;   ///< real octants that changed owner
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterConfig config) : config_(config) {}
+
+  /// Runs `config_.steps` steps of `wl` on `mesh` and synthesizes the
+  /// cluster execution profile.
+  ClusterResult run(amr::MeshBackend& mesh, amr::DropletWorkload& wl);
+
+  const ClusterConfig& config() const noexcept { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace pmo::cluster

@@ -1,0 +1,75 @@
+// Lightweight contract checking for the pmoctree libraries.
+//
+// PMO_CHECK     - always-on invariant check; throws pmo::ContractError.
+// PMO_DCHECK    - debug-only check (compiled out in NDEBUG builds).
+// PMO_UNREACHABLE - marks unreachable control flow.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmo {
+
+/// Thrown when a PMO_CHECK contract is violated. Deriving from
+/// std::logic_error: a failed check is a programming error, not an
+/// environmental condition, and should never be silently swallowed.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown by persistence machinery when a recovery/consistency problem is
+/// detected at runtime (e.g. corrupt root table, torn structure).
+class PersistenceError : public std::runtime_error {
+ public:
+  explicit PersistenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when an emulated device runs out of space.
+class OutOfSpaceError : public std::runtime_error {
+ public:
+  explicit OutOfSpaceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace pmo
+
+#define PMO_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::pmo::detail::contract_fail(#expr, __FILE__, __LINE__, "");     \
+    }                                                                  \
+  } while (0)
+
+#define PMO_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream pmo_os_;                                      \
+      pmo_os_ << msg; /* NOLINT */                                     \
+      ::pmo::detail::contract_fail(#expr, __FILE__, __LINE__,          \
+                                   pmo_os_.str());                     \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define PMO_DCHECK(expr) ((void)0)
+#else
+#define PMO_DCHECK(expr) PMO_CHECK(expr)
+#endif
+
+#define PMO_UNREACHABLE()                                                  \
+  ::pmo::detail::contract_fail("unreachable", __FILE__, __LINE__,          \
+                               "control flow reached unreachable branch")

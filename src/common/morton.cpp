@@ -1,0 +1,32 @@
+#include "common/morton.hpp"
+
+#include <sstream>
+
+namespace pmo {
+
+const std::array<std::array<int, 3>, kNeighborCount>&
+LocCode::neighbor_directions() noexcept {
+  static const auto dirs = [] {
+    std::array<std::array<int, 3>, kNeighborCount> out{};
+    int n = 0;
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          out[n++] = {dx, dy, dz};
+        }
+      }
+    }
+    return out;
+  }();
+  return dirs;
+}
+
+std::string LocCode::to_string() const {
+  const auto g = grid_anchor();
+  std::ostringstream os;
+  os << "L" << level() << "(" << g.x << "," << g.y << "," << g.z << ")";
+  return os.str();
+}
+
+}  // namespace pmo

@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pmo {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PMO_CHECK(!headers_.empty());
+}
+
+TablePrinter& TablePrinter::row(std::vector<std::string> cells) {
+  PMO_CHECK_MSG(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  if (unit == 0) {
+    os << static_cast<std::uint64_t>(v) << kUnits[unit];
+  } else {
+    os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v
+       << kUnits[unit];
+  }
+  return os.str();
+}
+
+std::string TablePrinter::human_count(double count) {
+  std::ostringstream os;
+  if (count >= 1e9) {
+    os << std::fixed << std::setprecision(2) << count / 1e9 << "G";
+  } else if (count >= 1e6) {
+    os << std::fixed << std::setprecision(2) << count / 1e6 << "M";
+  } else if (count >= 1e3) {
+    os << std::fixed << std::setprecision(1) << count / 1e3 << "K";
+  } else {
+    os << std::fixed << std::setprecision(0) << count;
+  }
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << " | ";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (const auto w : widths) os << std::string(w + 2, '-') << "-|";
+  os << "\n";
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace pmo

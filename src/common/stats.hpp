@@ -1,0 +1,51 @@
+// Small statistics and table-formatting helpers used by tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmo {
+
+/// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  void clear() noexcept { *this = OnlineStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width console table used by the benchmark harnesses so every
+/// figure reproduction prints the same style of rows the paper reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string human_bytes(std::uint64_t bytes);
+  static std::string human_count(double count);
+
+  /// Render the table (header + separator + rows) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmo

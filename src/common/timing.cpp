@@ -1,0 +1,68 @@
+#include "common/timing.hpp"
+
+#include <algorithm>
+
+namespace pmo {
+
+double SpinCalibration::measure() {
+  using clock = std::chrono::steady_clock;
+  // Warm up, then measure the tick rate over a short window. Take the
+  // median of several samples to reject scheduler noise.
+  double samples[5];
+  for (double& sample : samples) {
+    const auto t0 = clock::now();
+    const auto c0 = tsc_now();
+    // ~200us window: long enough to dominate clock-read overhead.
+    while (std::chrono::duration<double>(clock::now() - t0).count() < 200e-6) {
+    }
+    const auto c1 = tsc_now();
+    const auto t1 = clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    sample = static_cast<double>(c1 - c0) / ns;
+  }
+  std::sort(samples, samples + 5);
+  return samples[2];
+}
+
+double SpinCalibration::ticks_per_ns() {
+  static const double value = measure();
+  return value;
+}
+
+void TimeBreakdown::add_seconds(const std::string& bucket, double s) {
+  buckets_[bucket] += s;
+}
+
+double TimeBreakdown::seconds(const std::string& bucket) const {
+  const auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double TimeBreakdown::total_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, s] : buckets_) total += s;
+  return total;
+}
+
+double TimeBreakdown::percent(const std::string& bucket) const {
+  const double total = total_seconds();
+  if (total <= 0.0) return 0.0;
+  return 100.0 * seconds(bucket) / total;
+}
+
+std::vector<std::string> TimeBreakdown::buckets() const {
+  std::vector<std::string> names;
+  names.reserve(buckets_.size());
+  for (const auto& [name, s] : buckets_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void TimeBreakdown::clear() { buckets_.clear(); }
+
+void TimeBreakdown::merge(const TimeBreakdown& other) {
+  for (const auto& [name, s] : other.buckets_) buckets_[name] += s;
+}
+
+}  // namespace pmo

@@ -1,0 +1,109 @@
+// Wall-clock timing, cycle counting, and calibrated spin delays.
+//
+// The NVBM emulator (src/nvbm) injects extra memory latency the same way the
+// paper does (§5.1): a software spin loop that reads the processor timestamp
+// counter and spins until the intended delay has elapsed. spin_ns() is that
+// loop; SpinCalibration converts nanoseconds to timestamp ticks once at
+// startup so the hot path is a tight rdtsc poll.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pmo {
+
+/// Reads the CPU timestamp counter. Falls back to steady_clock on
+/// non-x86 targets; either way the unit is "ticks" calibrated below.
+inline std::uint64_t tsc_now() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// One-time calibration of timestamp ticks per nanosecond.
+class SpinCalibration {
+ public:
+  /// Ticks per nanosecond, measured once per process.
+  static double ticks_per_ns();
+
+ private:
+  static double measure();
+};
+
+/// Busy-wait for approximately `ns` nanoseconds. This is the paper's
+/// RDTSC(P) spin-loop NVBM latency model.
+inline void spin_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const double tpn = SpinCalibration::ticks_per_ns();
+  const auto target =
+      tsc_now() + static_cast<std::uint64_t>(static_cast<double>(ns) * tpn);
+  while (tsc_now() < target) {
+    // spin
+  }
+}
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+  std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Named accumulator of time buckets, used for the per-routine execution
+/// breakdowns (Figures 7 and 8b). Times may be real (measured) or modeled
+/// (accumulated from a cost model) — the accounting is unit-agnostic.
+class TimeBreakdown {
+ public:
+  void add_seconds(const std::string& bucket, double s);
+  double seconds(const std::string& bucket) const;
+  double total_seconds() const;
+  /// Percentage of total time spent in `bucket`; 0 when total is 0.
+  double percent(const std::string& bucket) const;
+  std::vector<std::string> buckets() const;
+  void clear();
+  void merge(const TimeBreakdown& other);
+
+ private:
+  std::unordered_map<std::string, double> buckets_;
+};
+
+/// RAII helper accumulating a scope's wall time into a TimeBreakdown bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeBreakdown& sink, std::string bucket)
+      : sink_(sink), bucket_(std::move(bucket)) {}
+  ~ScopedTimer() { sink_.add_seconds(bucket_, timer_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeBreakdown& sink_;
+  std::string bucket_;
+  WallTimer timer_;
+};
+
+}  // namespace pmo

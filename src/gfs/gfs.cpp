@@ -1,0 +1,130 @@
+#include "gfs/gfs.hpp"
+
+namespace pmo::gfs {
+
+int ftt_cell_level(const FttCell& cell) { return cell.code.level(); }
+
+double ftt_cell_size(const FttCell& cell) { return cell.code.size_unit(); }
+
+void ftt_cell_pos(const FttCell& cell, double* x, double* y, double* z) {
+  const auto c = cell.code.center_unit();
+  if (x != nullptr) *x = c[0];
+  if (y != nullptr) *y = c[1];
+  if (z != nullptr) *z = c[2];
+}
+
+bool ftt_cell_is_leaf(const FttCell& cell) {
+  PMO_CHECK(cell.valid());
+  return cell.tree->is_leaf(cell.code);
+}
+
+bool ftt_cell_is_root(const FttCell& cell) { return cell.code.is_root(); }
+
+CellData ftt_cell_data(const FttCell& cell) {
+  PMO_CHECK(cell.valid());
+  const auto d = cell.tree->find(cell.code);
+  PMO_CHECK_MSG(d.has_value(),
+                "stale cell handle: " << cell.code.to_string());
+  return *d;
+}
+
+void ftt_cell_set_data(const FttCell& cell, const CellData& data) {
+  PMO_CHECK(cell.valid());
+  cell.tree->update(cell.code, data);
+}
+
+FttCell ftt_cell_root(pmoctree::PmOctree& tree) {
+  return FttCell{&tree, LocCode::root()};
+}
+
+FttCell ftt_cell_parent(const FttCell& cell) {
+  PMO_CHECK_MSG(!cell.code.is_root(), "root cell has no parent");
+  return FttCell{cell.tree, cell.code.parent()};
+}
+
+FttCell ftt_cell_child(const FttCell& cell, int index) {
+  const auto child = cell.code.child(index);
+  PMO_CHECK_MSG(cell.tree->contains(child),
+                "cell has no children: " << cell.code.to_string());
+  return FttCell{cell.tree, child};
+}
+
+FttCell ftt_cell_neighbor(const FttCell& cell, FttDirection d) {
+  static constexpr int kDirs[FTT_NEIGHBORS][3] = {
+      {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  PMO_CHECK(d >= 0 && d < FTT_NEIGHBORS);
+  LocCode ncode;
+  if (!cell.code.neighbor(kDirs[d][0], kDirs[d][1], kDirs[d][2], ncode)) {
+    return FttCell{};  // domain boundary
+  }
+  // Same-or-coarser neighbor, as in Gerris.
+  return FttCell{cell.tree, cell.tree->leaf_containing(ncode)};
+}
+
+void ftt_cell_refine(FttCell& cell, const FttCellInitFunc& init) {
+  PMO_CHECK(cell.valid());
+  if (init) {
+    cell.tree->refine(cell.code, [&](const LocCode& code, CellData& d) {
+      FttCell child{cell.tree, code};
+      init(child, d);
+    });
+  } else {
+    cell.tree->refine(cell.code);
+  }
+}
+
+void ftt_cell_coarsen(FttCell& cell) {
+  PMO_CHECK(cell.valid());
+  cell.tree->coarsen(cell.code);
+}
+
+void ftt_cell_traverse(FttCell& root, FttTraverseType /*order*/, int flags,
+                       int max_depth, const FttCellTraverseFunc& fn) {
+  PMO_CHECK(root.valid());
+  auto* tree = root.tree;
+  const bool leafs_only = (flags & FTT_TRAVERSE_LEAFS) != 0;
+  const bool non_leafs_only = (flags & FTT_TRAVERSE_NON_LEAFS) != 0;
+  // Collect first (handles are stable codes), then apply: the callback may
+  // refine/coarsen, which would disturb a live traversal.
+  std::vector<std::pair<LocCode, bool>> cells;
+  tree->for_each_node(
+      [&](const LocCode& code, const CellData&, bool leaf) {
+        if (!root.code.contains(code)) return;
+        if (max_depth >= 0 && code.level() > max_depth) return;
+        if (leafs_only && !leaf) return;
+        if (non_leafs_only && leaf) return;
+        cells.emplace_back(code, leaf);
+      });
+  for (const auto& [code, leaf] : cells) {
+    FttCell cell{tree, code};
+    const auto cur = tree->find(code);
+    if (!cur.has_value()) continue;  // removed by an earlier callback
+    CellData data = *cur;
+    fn(cell, data);
+    if (!(data == *cur)) tree->update(code, data);
+  }
+}
+
+GfsSimulation::GfsSimulation(std::size_t capacity, pmoctree::PmConfig pm,
+                             nvbm::Config dev)
+    : device_(capacity, dev), heap_(device_), pm_(pm) {
+  if (pmoctree::PmOctree::can_restore(heap_)) {
+    tree_ = pmoctree::pm_restore(heap_, pm_);
+  } else {
+    tree_ = pmoctree::pm_create(heap_, nullptr, pm_);
+  }
+}
+
+pmoctree::PersistStats GfsSimulation::gfs_simulation_write() {
+  return pmoctree::pm_persistent(*tree_);
+}
+
+void GfsSimulation::gfs_simulation_read() {
+  tree_ = pmoctree::pm_restore(heap_, pm_);
+}
+
+bool GfsSimulation::has_saved_state() {
+  return pmoctree::PmOctree::can_restore(heap_);
+}
+
+}  // namespace pmo::gfs

@@ -1,0 +1,127 @@
+// Gerris integration layer (§4).
+//
+// Gerris organizes its mesh as a fully-threaded tree (FTT) and reaches it
+// through the ftt_cell_* functions; persistence goes through
+// gfs_simulation_read()/gfs_output_write(). The paper integrates PM-octree
+// by implementing these entry points on top of the PM-octree library so
+// the flow solver's code is unchanged. This header reproduces that
+// integration surface — C-flavoured handle types and free functions that
+// Gerris-style solver code can call, delegating to pmoctree::PmOctree.
+//
+// The handles are value types addressing octants by locational code, so
+// they stay valid across the copy-on-write relocations PM-octree performs
+// internally — exactly the "users are freed from persistent pointer
+// management" property the paper advertises.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pmoctree/api.hpp"
+
+namespace pmo::gfs {
+
+/// Gerris face/neighbor directions.
+enum FttDirection {
+  FTT_RIGHT = 0,  // +x
+  FTT_LEFT,       // -x
+  FTT_TOP,        // +y
+  FTT_BOTTOM,     // -y
+  FTT_FRONT,      // +z
+  FTT_BACK,       // -z
+  FTT_NEIGHBORS
+};
+
+/// Traversal orders supported by ftt_cell_traverse.
+enum FttTraverseType {
+  FTT_PRE_ORDER,
+  FTT_POST_ORDER,  // treated as pre-order over this shim
+};
+
+/// Traversal filters.
+enum FttTraverseFlags {
+  FTT_TRAVERSE_ALL = 0,
+  FTT_TRAVERSE_LEAFS = 1,
+  FTT_TRAVERSE_NON_LEAFS = 2,
+};
+
+class GfsSimulation;
+
+/// A Gerris cell handle: tree + locational code. Trivially copyable.
+struct FttCell {
+  pmoctree::PmOctree* tree = nullptr;
+  LocCode code;
+
+  bool valid() const noexcept { return tree != nullptr; }
+};
+
+using FttCellTraverseFunc = std::function<void(FttCell&, CellData&)>;
+using FttCellInitFunc = std::function<void(FttCell&, CellData&)>;
+using FttCellRefineFunc = std::function<bool(const FttCell&,
+                                             const CellData&)>;
+
+// ---- cell geometry ---------------------------------------------------------
+
+int ftt_cell_level(const FttCell& cell);
+/// Cell size relative to the unit root domain (Gerris' ftt_cell_size).
+double ftt_cell_size(const FttCell& cell);
+/// Cell center position in the unit domain.
+void ftt_cell_pos(const FttCell& cell, double* x, double* y, double* z);
+bool ftt_cell_is_leaf(const FttCell& cell);
+bool ftt_cell_is_root(const FttCell& cell);
+
+// ---- cell data -------------------------------------------------------------
+
+CellData ftt_cell_data(const FttCell& cell);
+void ftt_cell_set_data(const FttCell& cell, const CellData& data);
+
+// ---- structure -------------------------------------------------------------
+
+/// Root cell of the simulation domain.
+FttCell ftt_cell_root(pmoctree::PmOctree& tree);
+FttCell ftt_cell_parent(const FttCell& cell);
+FttCell ftt_cell_child(const FttCell& cell, int index);
+/// Face neighbor (same or coarser). Invalid handle at the boundary.
+FttCell ftt_cell_neighbor(const FttCell& cell, FttDirection d);
+
+/// Splits a leaf; `init` initializes each child (§4: ftt_cell_refine).
+void ftt_cell_refine(FttCell& cell, const FttCellInitFunc& init = nullptr);
+/// Merges the children of `cell` back into it (ftt_cell_coarsen).
+void ftt_cell_coarsen(FttCell& cell);
+
+/// Depth-first traversal (§4: ftt_cell_traverse). `max_depth` < 0 means
+/// unlimited. The callback may modify the cell data; modifications are
+/// written back through the PM-octree copy-on-write machinery.
+void ftt_cell_traverse(FttCell& root, FttTraverseType order, int flags,
+                       int max_depth, const FttCellTraverseFunc& fn);
+
+// ---- simulation persistence (§4 replacement of gfs_output_*) ---------------
+
+/// Owns the NVBM pool and the PM-octree for one Gerris simulation.
+class GfsSimulation {
+ public:
+  /// Creates a fresh simulation over `capacity` bytes of emulated NVBM.
+  explicit GfsSimulation(std::size_t capacity,
+                         pmoctree::PmConfig pm = {},
+                         nvbm::Config dev = {});
+
+  pmoctree::PmOctree& tree() { return *tree_; }
+  FttCell root() { return ftt_cell_root(*tree_); }
+  nvbm::Device& device() { return device_; }
+
+  /// Replaces gfs_output_write(): makes the current state durable.
+  pmoctree::PersistStats gfs_simulation_write();
+  /// Replaces gfs_simulation_read(): reopens the last durable state.
+  void gfs_simulation_read();
+  /// True when a durable state exists to read.
+  bool has_saved_state();
+
+ private:
+  nvbm::Device device_;
+  nvbm::Heap heap_;
+  pmoctree::PmConfig pm_;
+  std::unique_ptr<pmoctree::PmOctree> tree_;
+};
+
+}  // namespace pmo::gfs

@@ -1,0 +1,182 @@
+#include "nvbm/device.hpp"
+
+#include <algorithm>
+
+#include "common/timing.hpp"
+
+namespace pmo::nvbm {
+
+Device::Device(std::size_t capacity, Config config)
+    : capacity_(capacity), config_(config) {
+  PMO_CHECK_MSG(capacity > 0, "device capacity must be positive");
+  PMO_CHECK_MSG((config_.cache_line & (config_.cache_line - 1)) == 0,
+                "cache line size must be a power of two");
+  working_.resize(capacity_);
+  if (config_.crash_sim) durable_.resize(capacity_);
+  if (config_.track_wear)
+    wear_.resize((capacity_ + config_.cache_line - 1) / config_.cache_line);
+}
+
+std::size_t Device::line_span(std::uint64_t offset,
+                              std::size_t len) const noexcept {
+  if (len == 0) return 0;
+  const std::uint64_t first = offset / config_.cache_line;
+  const std::uint64_t last = (offset + len - 1) / config_.cache_line;
+  return static_cast<std::size_t>(last - first + 1);
+}
+
+void Device::charge_read(std::size_t lines) {
+  counters_.lines_read += lines;
+  switch (config_.latency_mode) {
+    case LatencyMode::kNone:
+      break;
+    case LatencyMode::kModeled:
+      counters_.modeled_read_ns += lines * config_.read_ns;
+      break;
+    case LatencyMode::kInjected:
+      counters_.modeled_read_ns += lines * config_.read_ns;
+      spin_ns(lines * config_.read_ns);
+      break;
+  }
+}
+
+void Device::charge_write(std::size_t lines) {
+  counters_.lines_written += lines;
+  switch (config_.latency_mode) {
+    case LatencyMode::kNone:
+      break;
+    case LatencyMode::kModeled:
+      counters_.modeled_write_ns += lines * config_.write_ns;
+      break;
+    case LatencyMode::kInjected:
+      counters_.modeled_write_ns += lines * config_.write_ns;
+      spin_ns(lines * config_.write_ns);
+      break;
+  }
+}
+
+void Device::mark_dirty(std::uint64_t offset, std::size_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = offset / config_.cache_line;
+  const std::uint64_t last = (offset + len - 1) / config_.cache_line;
+  if (config_.crash_sim) {
+    for (std::uint64_t line = first; line <= last; ++line)
+      dirty_.insert(line);
+  }
+  if (config_.track_wear) {
+    for (std::uint64_t line = first; line <= last; ++line) ++wear_[line];
+  }
+}
+
+void Device::read(std::uint64_t offset, void* dst, std::size_t len) {
+  PMO_CHECK_MSG(offset + len <= capacity_,
+                "NVBM read out of range: off=" << offset << " len=" << len);
+  ++counters_.reads;
+  counters_.bytes_read += len;
+  charge_read(line_span(offset, len));
+  std::memcpy(dst, working_.data() + offset, len);
+}
+
+void Device::write(std::uint64_t offset, const void* src, std::size_t len) {
+  PMO_CHECK_MSG(offset + len <= capacity_,
+                "NVBM write out of range: off=" << offset << " len=" << len);
+  ++counters_.writes;
+  counters_.bytes_written += len;
+  charge_write(line_span(offset, len));
+  mark_dirty(offset, len);
+  std::memcpy(working_.data() + offset, src, len);
+}
+
+std::byte* Device::raw(std::uint64_t offset, std::size_t len) {
+  PMO_CHECK_MSG(offset + len <= capacity_,
+                "NVBM raw access out of range: off=" << offset
+                                                     << " len=" << len);
+  return working_.data() + offset;
+}
+
+void Device::touch_read(std::uint64_t offset, std::size_t len) {
+  ++counters_.reads;
+  counters_.bytes_read += len;
+  charge_read(line_span(offset, len));
+}
+
+void Device::touch_write(std::uint64_t offset, std::size_t len) {
+  ++counters_.writes;
+  counters_.bytes_written += len;
+  charge_write(line_span(offset, len));
+  mark_dirty(offset, len);
+}
+
+void Device::flush(std::uint64_t offset, std::size_t len) {
+  ++counters_.flushes;
+  if (!config_.crash_sim || len == 0) return;
+  const std::uint64_t first = offset / config_.cache_line;
+  const std::uint64_t last =
+      std::min<std::uint64_t>((offset + len - 1) / config_.cache_line,
+                              capacity_ / config_.cache_line);
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const auto it = dirty_.find(line);
+    if (it == dirty_.end()) continue;
+    const std::uint64_t begin = line * config_.cache_line;
+    const std::size_t n =
+        std::min<std::size_t>(config_.cache_line, capacity_ - begin);
+    std::memcpy(durable_.data() + begin, working_.data() + begin, n);
+    dirty_.erase(it);
+  }
+}
+
+void Device::persist_barrier() { ++counters_.barriers; }
+
+void Device::flush_all() {
+  ++counters_.flushes;
+  if (!config_.crash_sim) return;
+  for (const std::uint64_t line : dirty_) {
+    const std::uint64_t begin = line * config_.cache_line;
+    const std::size_t n =
+        std::min<std::size_t>(config_.cache_line, capacity_ - begin);
+    std::memcpy(durable_.data() + begin, working_.data() + begin, n);
+  }
+  dirty_.clear();
+}
+
+std::size_t Device::simulate_crash(Rng& rng, double survive_p) {
+  PMO_CHECK_MSG(config_.crash_sim,
+                "simulate_crash requires Config::crash_sim = true");
+  std::size_t lost = 0;
+  for (const std::uint64_t line : dirty_) {
+    const std::uint64_t begin = line * config_.cache_line;
+    const std::size_t n =
+        std::min<std::size_t>(config_.cache_line, capacity_ - begin);
+    if (rng.chance(survive_p)) {
+      // Spontaneous eviction made this line durable before the failure.
+      std::memcpy(durable_.data() + begin, working_.data() + begin, n);
+    } else {
+      ++lost;
+    }
+  }
+  dirty_.clear();
+  // Reboot: the CPU-visible image is whatever the medium holds.
+  std::memcpy(working_.data(), durable_.data(), capacity_);
+  return lost;
+}
+
+std::uint64_t Device::max_wear() const noexcept {
+  if (wear_.empty()) return 0;
+  return *std::max_element(wear_.begin(), wear_.end());
+}
+
+double Device::mean_wear() const noexcept {
+  if (wear_.empty()) return 0.0;
+  std::uint64_t sum = 0;
+  std::uint64_t touched = 0;
+  for (const auto w : wear_) {
+    if (w > 0) {
+      sum += w;
+      ++touched;
+    }
+  }
+  return touched == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(touched);
+}
+
+}  // namespace pmo::nvbm

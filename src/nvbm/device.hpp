@@ -1,0 +1,159 @@
+// Emulated non-volatile byte-addressable memory (NVBM) device.
+//
+// Follows the paper's own evaluation methodology (§5.1): NVBM is modeled on
+// DRAM, with extra read/write latency injected through calibrated spin
+// loops (Table 2 defaults: DRAM 60/60 ns, NVBM 100/150 ns). On top of
+// that, this emulator adds what a real NVDIMM has and DRAM emulation
+// normally hides:
+//
+//  * a store-buffer/cache model — stores are *volatile* until explicitly
+//    flushed (the clflush/mfence analog), so crash consistency of the data
+//    structures above is actually testable;
+//  * adversarial crash simulation — at a simulated power failure, each
+//    dirty cache line independently either reached the durable medium
+//    (spontaneous eviction) or did not;
+//  * read/write accounting and per-line wear counters, used to reproduce
+//    the paper's NVBM-write-reduction results (Fig. 11) and endurance
+//    discussion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace pmo::nvbm {
+
+/// How memory latency is realized.
+enum class LatencyMode {
+  kNone,      ///< count accesses only; no time cost (fast unit tests)
+  kModeled,   ///< count accesses and accumulate modeled nanoseconds
+  kInjected,  ///< count, accumulate, and really spin (paper's methodology)
+};
+
+/// Device timing/behaviour parameters. Defaults are the paper's Table 2.
+struct Config {
+  std::uint64_t read_ns = 100;        ///< NVBM read latency per cache line
+  std::uint64_t write_ns = 150;       ///< NVBM write latency per cache line
+  std::uint64_t dram_read_ns = 60;    ///< DRAM read latency (for reference)
+  std::uint64_t dram_write_ns = 60;   ///< DRAM write latency (for reference)
+  std::uint64_t endurance = 100'000'000;  ///< writes/bit: 1e6–1e8 per paper
+  LatencyMode latency_mode = LatencyMode::kModeled;
+  bool track_wear = false;       ///< per-line write counters
+  bool crash_sim = false;        ///< keep a durable shadow image
+  std::size_t cache_line = 64;   ///< flush granularity in bytes
+};
+
+/// Access counters, all cumulative since construction or reset_counters().
+struct Counters {
+  std::uint64_t reads = 0;          ///< read operations
+  std::uint64_t writes = 0;         ///< write operations
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t lines_read = 0;     ///< cache-line touches (latency unit)
+  std::uint64_t lines_written = 0;
+  std::uint64_t flushes = 0;        ///< explicit persist (clflush) calls
+  std::uint64_t barriers = 0;       ///< persist_barrier (sfence) calls
+  std::uint64_t modeled_read_ns = 0;
+  std::uint64_t modeled_write_ns = 0;
+
+  std::uint64_t total_accesses() const noexcept { return reads + writes; }
+  double write_fraction() const noexcept {
+    const auto t = total_accesses();
+    return t == 0 ? 0.0 : static_cast<double>(writes) / static_cast<double>(t);
+  }
+  std::uint64_t modeled_ns() const noexcept {
+    return modeled_read_ns + modeled_write_ns;
+  }
+};
+
+/// The emulated NVBM DIMM: a flat byte range addressed by offsets.
+///
+/// Thread-compatibility: a Device is confined to one logical owner
+/// (matching the paper's per-process NVBM pool); the cluster simulator
+/// gives each simulated rank its own Device.
+class Device {
+ public:
+  Device(std::size_t capacity, Config config);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  const Config& config() const noexcept { return config_; }
+  const Counters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = Counters{}; }
+
+  /// Reads `len` bytes at `offset` into `dst`, charging read latency.
+  void read(std::uint64_t offset, void* dst, std::size_t len);
+
+  /// Writes `len` bytes from `src` at `offset`, charging write latency.
+  /// The bytes are NOT durable until flushed (see flush / persist_barrier)
+  /// when crash simulation is enabled.
+  void write(std::uint64_t offset, const void* src, std::size_t len);
+
+  /// Typed convenience accessors.
+  template <typename T>
+  T load(std::uint64_t offset) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read(offset, &value, sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void store(std::uint64_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(offset, &value, sizeof(T));
+  }
+
+  /// Direct pointer into the working image. Accesses through this pointer
+  /// bypass latency accounting; callers must pair it with touch_read /
+  /// touch_write to keep the model honest. Used by the node accessor layer
+  /// to avoid double memcpy on hot paths.
+  std::byte* raw(std::uint64_t offset, std::size_t len);
+
+  /// Accounting-only variants used together with raw().
+  void touch_read(std::uint64_t offset, std::size_t len);
+  void touch_write(std::uint64_t offset, std::size_t len);
+
+  /// clflush analog: guarantees the given range is durable.
+  void flush(std::uint64_t offset, std::size_t len);
+  /// sfence analog. With our deterministic flush() this only counts, but
+  /// call sites keep the real protocol visible.
+  void persist_barrier();
+  /// Flushes every dirty line (the whole-cache writeback at a persist
+  /// point). No-op when crash simulation is off (everything is already
+  /// "durable" then).
+  void flush_all();
+  /// Number of dirty (written, unflushed) cache lines.
+  std::size_t dirty_lines() const noexcept { return dirty_.size(); }
+
+  /// Simulated power failure + reboot: every dirty line independently
+  /// either reached the medium or is lost (probability `survive_p` each);
+  /// the working image is then reset to the durable image. Requires
+  /// Config::crash_sim. Returns how many dirty lines were lost.
+  std::size_t simulate_crash(Rng& rng, double survive_p = 0.5);
+
+  /// Maximum per-line write count (0 if wear tracking disabled).
+  std::uint64_t max_wear() const noexcept;
+  /// Mean per-line write count over lines ever written.
+  double mean_wear() const noexcept;
+
+ private:
+  void charge_read(std::size_t lines);
+  void charge_write(std::size_t lines);
+  std::size_t line_span(std::uint64_t offset, std::size_t len) const noexcept;
+  void mark_dirty(std::uint64_t offset, std::size_t len);
+
+  std::size_t capacity_;
+  Config config_;
+  std::vector<std::byte> working_;
+  std::vector<std::byte> durable_;  ///< only when crash_sim
+  std::unordered_set<std::uint64_t> dirty_;  ///< dirty line indices
+  std::vector<std::uint32_t> wear_;          ///< only when track_wear
+  Counters counters_;
+};
+
+}  // namespace pmo::nvbm

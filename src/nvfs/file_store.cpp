@@ -1,0 +1,128 @@
+#include "nvfs/file_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/timing.hpp"
+
+namespace pmo::nvfs {
+
+FileStore::FileStore(nvbm::Device& device, FsConfig config)
+    : device_(device), config_(config) {
+  PMO_CHECK_MSG((config_.block_size & (config_.block_size - 1)) == 0,
+                "block size must be a power of two");
+}
+
+void FileStore::charge_op() {
+  counters_.modeled_overhead_ns += config_.op_overhead_ns;
+  if (device_.config().latency_mode == nvbm::LatencyMode::kInjected)
+    spin_ns(config_.op_overhead_ns);
+}
+
+std::uint64_t FileStore::alloc_block() {
+  ++used_blocks_;
+  if (!free_blocks_.empty()) {
+    const auto off = free_blocks_.back();
+    free_blocks_.pop_back();
+    return off;
+  }
+  const auto off = next_block_ * config_.block_size;
+  PMO_CHECK_MSG(off + config_.block_size <= device_.capacity(),
+                "file store device full");
+  ++next_block_;
+  return off;
+}
+
+void FileStore::free_block(std::uint64_t offset) {
+  --used_blocks_;
+  free_blocks_.push_back(offset);
+}
+
+File& FileStore::create(const std::string& name) {
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    it->second->truncate(0);
+    return *it->second;
+  }
+  auto file = std::unique_ptr<File>(new File(*this));
+  auto& ref = *file;
+  files_.emplace(name, std::move(file));
+  return ref;
+}
+
+File& FileStore::open(const std::string& name) {
+  const auto it = files_.find(name);
+  PMO_CHECK_MSG(it != files_.end(), "no such file: " << name);
+  return *it->second;
+}
+
+bool FileStore::exists(const std::string& name) const {
+  return files_.count(name) != 0;
+}
+
+void FileStore::unlink(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return;
+  for (const auto block : it->second->blocks_) free_block(block);
+  files_.erase(it);
+}
+
+std::size_t File::pread(std::uint64_t offset, void* dst, std::size_t len) {
+  store_.charge_op();
+  ++store_.counters_.reads;
+  if (offset >= size_) return 0;
+  len = static_cast<std::size_t>(
+      std::min<std::uint64_t>(len, size_ - offset));
+  const std::size_t bs = store_.config_.block_size;
+  std::size_t done = 0;
+  auto* out = static_cast<std::byte*>(dst);
+  while (done < len) {
+    const std::uint64_t pos = offset + done;
+    const std::size_t bi = static_cast<std::size_t>(pos / bs);
+    const std::size_t in_block = static_cast<std::size_t>(pos % bs);
+    const std::size_t n = std::min(len - done, bs - in_block);
+    store_.device_.read(blocks_[bi] + in_block, out + done, n);
+    done += n;
+  }
+  store_.counters_.bytes_read += len;
+  return len;
+}
+
+void File::pwrite(std::uint64_t offset, const void* src, std::size_t len) {
+  store_.charge_op();
+  ++store_.counters_.writes;
+  const std::size_t bs = store_.config_.block_size;
+  const std::uint64_t end = offset + len;
+  while (blocks_.size() * bs < end) blocks_.push_back(store_.alloc_block());
+  std::size_t done = 0;
+  const auto* in = static_cast<const std::byte*>(src);
+  while (done < len) {
+    const std::uint64_t pos = offset + done;
+    const std::size_t bi = static_cast<std::size_t>(pos / bs);
+    const std::size_t in_block = static_cast<std::size_t>(pos % bs);
+    const std::size_t n = std::min(len - done, bs - in_block);
+    store_.device_.write(blocks_[bi] + in_block, in + done, n);
+    done += n;
+  }
+  size_ = std::max(size_, end);
+  store_.counters_.bytes_written += len;
+}
+
+void File::fsync() {
+  store_.charge_op();
+  const std::size_t bs = store_.config_.block_size;
+  for (const auto block : blocks_) store_.device_.flush(block, bs);
+  store_.device_.persist_barrier();
+}
+
+void File::truncate(std::uint64_t new_size) {
+  const std::size_t bs = store_.config_.block_size;
+  const std::size_t keep = static_cast<std::size_t>((new_size + bs - 1) / bs);
+  while (blocks_.size() > keep) {
+    store_.free_block(blocks_.back());
+    blocks_.pop_back();
+  }
+  size_ = new_size;
+}
+
+}  // namespace pmo::nvfs

@@ -1,0 +1,98 @@
+// Minimal file-system-like layer over an nvbm::Device.
+//
+// The paper's two baselines both reach NVBM through a *file-system
+// interface*: the Gerris in-core octree writes whole-tree snapshot files,
+// and the Etree out-of-core octree stores 4 KiB octant pages behind a
+// B-tree index. This layer models that path: block-granular I/O plus a
+// per-operation software overhead (system call + file-system stack),
+// which is exactly the cost the paper argues byte-addressable access
+// avoids.
+//
+// Durability note: file *data* lives on the device; the directory is
+// volatile. That matches how the paper uses files — snapshot recovery
+// reads from a shared parallel file system that does not fail with the
+// compute node (§5.6), so directory persistence is out of scope.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nvbm/device.hpp"
+
+namespace pmo::nvfs {
+
+struct FsConfig {
+  std::size_t block_size = 4096;      ///< the paper's 4 KiB I/O unit
+  std::uint64_t op_overhead_ns = 1500;  ///< per-call fs/syscall software cost
+};
+
+struct FsCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t modeled_overhead_ns = 0;
+};
+
+class FileStore;
+
+/// Handle to an open file. Obtained from FileStore::open/create; remains
+/// valid while the store lives.
+class File {
+ public:
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// Positional read; returns bytes actually read (may be short at EOF).
+  std::size_t pread(std::uint64_t offset, void* dst, std::size_t len);
+  /// Positional write; extends the file as needed.
+  void pwrite(std::uint64_t offset, const void* src, std::size_t len);
+  void append(const void* src, std::size_t len) { pwrite(size_, src, len); }
+  /// Flushes this file's blocks to the durable medium.
+  void fsync();
+  void truncate(std::uint64_t new_size);
+
+ private:
+  friend class FileStore;
+  explicit File(FileStore& store) : store_(store) {}
+
+  FileStore& store_;
+  std::vector<std::uint64_t> blocks_;  // device offsets, one per block
+  std::uint64_t size_ = 0;
+};
+
+/// Flat-namespace store of files carved from one NVBM device.
+class FileStore {
+ public:
+  FileStore(nvbm::Device& device, FsConfig config = {});
+
+  /// Creates (or truncates) a file.
+  File& create(const std::string& name);
+  /// Opens an existing file; throws if missing.
+  File& open(const std::string& name);
+  bool exists(const std::string& name) const;
+  void unlink(const std::string& name);
+
+  const FsCounters& counters() const noexcept { return counters_; }
+  const FsConfig& config() const noexcept { return config_; }
+  nvbm::Device& device() noexcept { return device_; }
+  std::uint64_t blocks_in_use() const noexcept { return used_blocks_; }
+
+ private:
+  friend class File;
+  std::uint64_t alloc_block();
+  void free_block(std::uint64_t offset);
+  void charge_op();
+
+  nvbm::Device& device_;
+  FsConfig config_;
+  FsCounters counters_;
+  std::unordered_map<std::string, std::unique_ptr<File>> files_;
+  std::vector<std::uint64_t> free_blocks_;
+  std::uint64_t next_block_ = 0;
+  std::uint64_t used_blocks_ = 0;
+};
+
+}  // namespace pmo::nvfs

@@ -1,0 +1,34 @@
+// Per-cell simulation payload shared by every octree backend.
+#pragma once
+
+#include <cstdint>
+
+namespace pmo {
+
+/// Field values carried by one mesh cell (octant). Matches what the
+/// droplet-ejection workload needs from a Gerris-style multiphase solver:
+/// a volume-of-fluid interface fraction, an advected tracer, velocity and
+/// pressure. Trivially copyable by design — octants are memcpy'd between
+/// DRAM and NVBM and serialized into snapshots.
+struct CellData {
+  double vof = 0.0;      ///< liquid volume fraction in [0, 1]
+  double tracer = 0.0;   ///< passive advected scalar
+  double u = 0.0;        ///< velocity x
+  double v = 0.0;        ///< velocity y
+  double w = 0.0;        ///< velocity z
+  double pressure = 0.0;
+
+  friend bool operator==(const CellData&, const CellData&) = default;
+};
+
+static_assert(sizeof(CellData) == 48);
+
+/// True when the cell straddles the liquid/gas interface — the canonical
+/// refinement feature of the droplet workload (cells with a mixed VOF
+/// fraction carry the interface and need micrometer resolution).
+inline bool is_interface_cell(const CellData& d,
+                              double band = 1e-3) noexcept {
+  return d.vof > band && d.vof < 1.0 - band;
+}
+
+}  // namespace pmo

@@ -1,0 +1,23 @@
+#include "pmoctree/api.hpp"
+
+namespace pmo::pmoctree {
+
+std::unique_ptr<PmOctree> pm_create(nvbm::Heap& heap,
+                                    const octree::Octree* tree,
+                                    PmConfig config) {
+  if (tree == nullptr) {
+    return std::make_unique<PmOctree>(PmOctree::create(heap, config));
+  }
+  return std::make_unique<PmOctree>(
+      PmOctree::create_from(heap, *tree, config));
+}
+
+PersistStats pm_persistent(PmOctree& tree) { return tree.persist(); }
+
+std::unique_ptr<PmOctree> pm_restore(nvbm::Heap& heap, PmConfig config) {
+  return std::make_unique<PmOctree>(PmOctree::restore(heap, config));
+}
+
+void pm_delete(PmOctree& tree) { tree.destroy(); }
+
+}  // namespace pmo::pmoctree

@@ -1,0 +1,39 @@
+// The paper's program interface (Table 1), C++ flavoured.
+//
+//   | paper                                | here                          |
+//   |--------------------------------------|-------------------------------|
+//   | pmoctree* pm_create(octree* tree)    | pm_create(heap, tree, cfg)    |
+//   | void pm_persistent(pmoctree* tree)   | pm_persistent(tree)           |
+//   | pmoctree* pm_restore(void)           | pm_restore(heap, cfg)         |
+//   | void pm_delete(pmoctree* tree)       | pm_delete(tree)               |
+//
+// The only deviation is that the NVBM pool (nvbm::Heap) is an explicit
+// handle rather than process-global state; everything else — orthogonal
+// persistence, no user-visible persistent-pointer management — matches.
+// In Gerris these calls replace gfs_output_write()/gfs_output_read()
+// (§3.4); src/gfs provides that integration layer.
+#pragma once
+
+#include <memory>
+
+#include "pmoctree/pm_octree.hpp"
+
+namespace pmo::pmoctree {
+
+/// Creates a new PM-octree; when `tree` is non-null its octants are
+/// adopted. Returns a pointer to the working version V_i.
+std::unique_ptr<PmOctree> pm_create(nvbm::Heap& heap,
+                                    const octree::Octree* tree = nullptr,
+                                    PmConfig config = {});
+
+/// Creates a persistent version of the octree (merge + atomic root swap).
+PersistStats pm_persistent(PmOctree& tree);
+
+/// Restores a PM-octree from the consistent persisted version; returns a
+/// pointer to V_i (which aliases V_{i-1} until first mutation). O(1).
+std::unique_ptr<PmOctree> pm_restore(nvbm::Heap& heap, PmConfig config = {});
+
+/// Deletes all octants on NVBM and DRAM.
+void pm_delete(PmOctree& tree);
+
+}  // namespace pmo::pmoctree

@@ -1,0 +1,1248 @@
+#include "pmoctree/pm_octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmo::pmoctree {
+
+namespace {
+constexpr std::size_t kNodeSize = sizeof(PNode);
+
+std::size_t lines_for(std::size_t bytes, std::size_t line) noexcept {
+  return (bytes + line - 1) / line;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// construction / restore
+// ---------------------------------------------------------------------------
+
+PmOctree::PmOctree(nvbm::Heap& heap, PmConfig config)
+    : heap_(heap), config_(config) {}
+
+PmOctree PmOctree::create(nvbm::Heap& heap, PmConfig config) {
+  PmOctree tree(heap, config);
+  // Clean slate: drop any roots and reclaim every object on the heap.
+  heap.set_root(kPrevRootSlot, 0);
+  heap.set_root(kEpochSlot, 0);
+  heap.sweep([](std::uint64_t) { return false; });
+  PNode root{};
+  root.code = LocCode::root();
+  root.epoch = tree.epoch_;
+  tree.cur_root_ = tree.alloc_node(root, true);
+  return tree;
+}
+
+PmOctree PmOctree::create_from(nvbm::Heap& heap, const octree::Octree& src,
+                               PmConfig config) {
+  PmOctree tree = create(heap, config);
+  // Mirror the volatile tree (the paper's pm_create(octree*) adoption).
+  std::function<void(const octree::Node&)> copy =
+      [&](const octree::Node& n) {
+        tree.insert(n.code, n.data);
+        for (const auto* c : n.children)
+          if (c != nullptr) copy(*c);
+      };
+  copy(*src.root());
+  return tree;
+}
+
+bool PmOctree::can_restore(nvbm::Heap& heap) {
+  return heap.root(kPrevRootSlot) != 0;
+}
+
+PmOctree PmOctree::restore(nvbm::Heap& heap, PmConfig config) {
+  PmOctree tree(heap, config);
+  const std::uint64_t root_off = heap.root(kPrevRootSlot);
+  PMO_CHECK_MSG(root_off != 0, "pm_restore: no persisted version in heap");
+  PMO_CHECK_MSG(heap.is_allocated(root_off),
+                "pm_restore: persistent root does not address a live object");
+  tree.prev_root_ = NodeRef::nvbm(root_off);
+  // V_i starts as an alias of V_{i-1}: O(1) recovery — nothing is copied.
+  tree.cur_root_ = tree.prev_root_;
+  tree.epoch_ =
+      static_cast<std::uint32_t>(heap.root(kEpochSlot)) + 1;
+  // Depth is re-learned lazily; seed it from the persisted root's subtree
+  // on first stats() call. Keep 0 here to stay O(1).
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// node access layer
+// ---------------------------------------------------------------------------
+
+void PmOctree::charge_dram_read() {
+  ++dram_.reads;
+  const auto lines = lines_for(kNodeSize, config_.cache_line);
+  dram_.lines_read += lines;
+  dram_.modeled_read_ns += lines * config_.dram_read_ns;
+}
+
+void PmOctree::charge_dram_write() {
+  ++dram_.writes;
+  const auto lines = lines_for(kNodeSize, config_.cache_line);
+  dram_.lines_written += lines;
+  dram_.modeled_write_ns += lines * config_.dram_write_ns;
+}
+
+void PmOctree::touch_heat(const LocCode& code, double amount) {
+  heat_[subtree_id(code)] += amount;
+}
+
+PNode PmOctree::read_node(NodeRef ref) {
+  PMO_DCHECK(!ref.null());
+  if (ref.in_dram()) {
+    charge_dram_read();
+    const PNode node = *ref.dram_ptr();
+    touch_heat(node.code, 1.0);
+    return node;
+  }
+  const PNode node = device().load<PNode>(ref.nvbm_offset());
+  touch_heat(node.code, 1.0);
+  return node;
+}
+
+void PmOctree::write_node(NodeRef ref, const PNode& node) {
+  PMO_DCHECK(!ref.null());
+  touch_heat(node.code, 1.0);
+  if (ref.in_dram()) {
+    charge_dram_write();
+    *ref.dram_ptr() = node;
+    return;
+  }
+  device().store<PNode>(ref.nvbm_offset(), node);
+}
+
+NodeRef PmOctree::alloc_node(const PNode& proto, bool prefer_dram) {
+  note_depth(proto.code.level());
+  // Hard cap at the overflow ceiling; the placement policies already
+  // enforce the tighter budget/designation rules.
+  const auto ceiling = static_cast<std::size_t>(
+      static_cast<double>(config_.dram_budget_bytes) * config_.dram_overflow);
+  if (prefer_dram && dram_bytes() < ceiling) {
+    PNode* slot = nullptr;
+    if (!dram_free_.empty()) {
+      slot = dram_free_.back();
+      dram_free_.pop_back();
+    } else {
+      dram_pool_.emplace_back();
+      slot = &dram_pool_.back();
+    }
+    *slot = proto;
+    ++dram_node_count_;
+    charge_dram_write();
+    c0_set_.insert(subtree_id(proto.code));
+    return NodeRef::dram(slot);
+  }
+  const std::uint64_t off = heap_.alloc(kNodeSize);
+  const NodeRef ref = NodeRef::nvbm(off);
+  device().store<PNode>(off, proto);
+  return ref;
+}
+
+void PmOctree::free_node(NodeRef ref) {
+  PMO_DCHECK(!ref.null());
+  if (ref.in_dram()) {
+    twins_.erase(ref.dram_ptr());
+    dram_free_.push_back(ref.dram_ptr());
+    --dram_node_count_;
+    return;
+  }
+  heap_.free(ref.nvbm_offset());
+}
+
+// ---------------------------------------------------------------------------
+// placement
+// ---------------------------------------------------------------------------
+
+int PmOctree::subtree_level() const noexcept {
+  // Paper Eq. 1: L_sub = Depth_octree - floor(log_Fanout(Size_DRAM)).
+  const double budget_nodes = std::max<double>(
+      1.0, static_cast<double>(config_.dram_budget_bytes) / kNodeSize);
+  const int span =
+      static_cast<int>(std::floor(std::log(budget_nodes) / std::log(8.0)));
+  return std::clamp(depth_ - span, 0, depth_);
+}
+
+LocCode PmOctree::subtree_id(const LocCode& code) const {
+  const int level = std::min(code.level(), subtree_level());
+  return code.ancestor_at(level);
+}
+
+bool PmOctree::place_new(const LocCode& code) const {
+  if (config_.dram_budget_bytes == 0) return false;
+  if (place_cow(code)) return true;
+  // First-touch: any octant may claim free DRAM. Without the dynamic
+  // transformation this is exactly the "locality-oblivious" behaviour of
+  // Fig. 5a — DRAM fills with whatever was touched first and nothing
+  // re-lays it out when the access pattern moves.
+  return dram_bytes() <
+         static_cast<std::size_t>(static_cast<double>(
+             config_.dram_budget_bytes) * config_.threshold_dram);
+}
+
+bool PmOctree::place_cow(const LocCode& code) const {
+  if (config_.dram_budget_bytes == 0) return false;
+  // Subtrees the transformation designated hot may transiently overflow
+  // the budget; enforce_dram_budget() trims back to it afterwards.
+  if (c0_set_.count(subtree_id(code)) == 0) return false;
+  return dram_bytes() <
+         static_cast<std::size_t>(static_cast<double>(
+             config_.dram_budget_bytes) * config_.dram_overflow);
+}
+
+// ---------------------------------------------------------------------------
+// structural helpers
+// ---------------------------------------------------------------------------
+
+bool PmOctree::descend(const LocCode& code, Path& path) {
+  path.clear();
+  PMO_CHECK_MSG(!cur_root_.null(), "tree has been destroyed");
+  path.push_back({cur_root_, read_node(cur_root_)});
+  for (int level = 1; level <= code.level(); ++level) {
+    const int idx = code.ancestor_at(level).child_index();
+    const NodeRef child = path.back().node.child_ref(idx);
+    if (child.null()) return false;
+    path.push_back({child, read_node(child)});
+  }
+  return true;
+}
+
+NodeRef PmOctree::make_mutable(Path& path, std::size_t i) {
+  NodeRef ref = path[i].ref;
+  if (ref.in_dram()) {
+    // DRAM nodes are never referenced by V_{i-1} directly (only their
+    // NVBM twins are), so they mutate in place — but the first mutation
+    // of an epoch must stamp the node dirty so the next persist writes a
+    // fresh twin instead of reusing the shared one.
+    if (path[i].node.epoch != epoch_) {
+      path[i].node.epoch = epoch_;
+      ref.dram_ptr()->epoch = epoch_;
+    }
+    return ref;
+  }
+  if (path[i].node.epoch == epoch_) return ref;  // private NVBM node
+
+  // Copy-on-write (Fig. 4): copy this shared octant, then recursively make
+  // the parent mutable and relink. The shared original stays untouched for
+  // V_{i-1}.
+  NodeRef parent_ref;
+  if (i > 0) parent_ref = make_mutable(path, i - 1);
+
+  PNode copy = path[i].node;
+  copy.epoch = epoch_;
+  copy.set_parent(parent_ref);
+  const NodeRef nref = alloc_node(copy, place_new(copy.code));
+
+  if (i == 0) {
+    cur_root_ = nref;
+  } else {
+    auto& parent = path[i - 1];
+    parent.node.set_child(copy.code.child_index(), nref);
+    write_node(parent.ref, parent.node);
+  }
+  path[i].ref = nref;
+  path[i].node = copy;
+  return nref;
+}
+
+// ---------------------------------------------------------------------------
+// queries / traversal
+// ---------------------------------------------------------------------------
+
+std::optional<CellData> PmOctree::find(const LocCode& code) {
+  Path path;
+  if (!descend(code, path)) return std::nullopt;
+  return path.back().node.data;
+}
+
+bool PmOctree::contains(const LocCode& code) {
+  Path path;
+  return descend(code, path);
+}
+
+bool PmOctree::is_leaf(const LocCode& code) {
+  Path path;
+  if (!descend(code, path)) return false;
+  return path.back().node.is_leaf();
+}
+
+CellData PmOctree::sample(const LocCode& code) {
+  Path path;
+  descend(code, path);
+  return path.back().node.data;
+}
+
+LocCode PmOctree::leaf_containing(const LocCode& code) {
+  Path path;
+  descend(code, path);
+  return path.back().node.code;
+}
+
+void PmOctree::for_each_node(
+    const std::function<void(const LocCode&, const CellData&, bool)>& fn) {
+  if (cur_root_.null()) return;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node = read_node(ref);
+    fn(node.code, node.data, node.is_leaf());
+    for (int i = kChildrenPerNode - 1; i >= 0; --i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+}
+
+void PmOctree::for_each_node_ex(
+    const std::function<void(const LocCode&, const CellData&, bool, bool)>&
+        fn) {
+  if (cur_root_.null()) return;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node = read_node(ref);
+    fn(node.code, node.data, node.is_leaf(), ref.in_dram());
+    for (int i = kChildrenPerNode - 1; i >= 0; --i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+}
+
+void PmOctree::for_each_leaf(
+    const std::function<void(const LocCode&, const CellData&)>& fn) {
+  for_each_node([&](const LocCode& code, const CellData& data, bool leaf) {
+    if (leaf) fn(code, data);
+  });
+}
+
+void PmOctree::for_each_leaf_prev(
+    const std::function<void(const LocCode&, const CellData&)>& fn) {
+  if (prev_root_.null()) return;
+  std::vector<NodeRef> stack{prev_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node = read_node(ref);
+    if (node.is_leaf()) fn(node.code, node.data);
+    for (int i = kChildrenPerNode - 1; i >= 0; --i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+}
+
+void PmOctree::for_each_leaf_mut(
+    const std::function<bool(const LocCode&, CellData&)>& fn) {
+  for_each_leaf_mut_pruned([](const LocCode&) { return true; }, fn);
+}
+
+void PmOctree::for_each_leaf_mut_pruned(
+    const std::function<bool(const LocCode&)>& visit,
+    const std::function<bool(const LocCode&, CellData&)>& fn) {
+  // DFS carrying the full path so copy-on-write write-backs can relink
+  // ancestors without a fresh descent per leaf.
+  Path path;
+  path.push_back({cur_root_, read_node(cur_root_)});
+  // Per-depth next-child cursor.
+  std::vector<int> cursor{0};
+  while (!path.empty()) {
+    const std::size_t i = path.size() - 1;
+    if (path[i].node.is_leaf()) {
+      CellData d = path[i].node.data;
+      if (fn(path[i].node.code, d)) {
+        make_mutable(path, i);
+        path[i].node.data = d;
+        write_node(path[i].ref, path[i].node);
+      }
+      path.pop_back();
+      cursor.pop_back();
+      continue;
+    }
+    int& c = cursor[i];
+    // Re-read the child ref from the (possibly CoW-updated) cached node.
+    // Subtrees pruned by `visit` are skipped before their root is even
+    // read — the child's code is derivable from the parent's.
+    NodeRef child;
+    while (c < kChildrenPerNode) {
+      const NodeRef candidate = path[i].node.child_ref(c);
+      const int idx = c;
+      ++c;
+      if (candidate.null()) continue;
+      if (!visit(path[i].node.code.child(idx))) continue;
+      child = candidate;
+      break;
+    }
+    if (child.null()) {
+      path.pop_back();
+      cursor.pop_back();
+      continue;
+    }
+    path.push_back({child, read_node(child)});
+    cursor.push_back(0);
+  }
+}
+
+std::size_t PmOctree::node_count() {
+  std::size_t n = 0;
+  for_each_node([&](const LocCode&, const CellData&, bool) { ++n; });
+  return n;
+}
+
+std::size_t PmOctree::leaf_count() {
+  std::size_t n = 0;
+  for_each_leaf([&](const LocCode&, const CellData&) { ++n; });
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// mutation
+// ---------------------------------------------------------------------------
+
+void PmOctree::insert(const LocCode& code, const CellData& data) {
+  Path path;
+  const bool exists = descend(code, path);
+  if (exists) {
+    make_mutable(path, path.size() - 1);
+    path.back().node.data = data;
+    write_node(path.back().ref, path.back().node);
+    return;
+  }
+  // Create full sibling groups level by level under the deepest ancestor
+  // (octree invariant: a node has zero or eight children).
+  while (path.back().node.code.level() < code.level()) {
+    const std::size_t pi = path.size() - 1;
+    make_mutable(path, pi);
+    PNode parent = path[pi].node;
+    const int next_level = parent.code.level() + 1;
+    const int take = code.ancestor_at(next_level).child_index();
+    NodeRef take_ref;
+    PNode take_node{};
+    for (int ci = 0; ci < kChildrenPerNode; ++ci) {
+      PNode child{};
+      child.code = parent.code.child(ci);
+      child.data = parent.data;  // inherit
+      child.epoch = epoch_;
+      child.set_parent(path[pi].ref);
+      const NodeRef cref = alloc_node(child, place_new(child.code));
+      parent.set_child(ci, cref);
+      if (ci == take) {
+        take_ref = cref;
+        take_node = child;
+      }
+    }
+    write_node(path[pi].ref, parent);
+    path[pi].node = parent;
+    path.push_back({take_ref, take_node});
+  }
+  path.back().node.data = data;
+  write_node(path.back().ref, path.back().node);
+  note_depth(code.level());
+  enforce_dram_budget();
+}
+
+void PmOctree::update(const LocCode& code, const CellData& data) {
+  Path path;
+  PMO_CHECK_MSG(descend(code, path),
+                "update of nonexistent octant " << code.to_string());
+  make_mutable(path, path.size() - 1);
+  path.back().node.data = data;
+  write_node(path.back().ref, path.back().node);
+}
+
+void PmOctree::free_subtree(NodeRef ref, bool tombstone_shared) {
+  if (ref.null()) return;
+  if (ref.in_dram()) {
+    const PNode node = *ref.dram_ptr();
+    for (int i = 0; i < kChildrenPerNode; ++i)
+      free_subtree(node.child_ref(i), tombstone_shared);
+    free_node(ref);
+    return;
+  }
+  PNode node = device().load<PNode>(ref.nvbm_offset());
+  if (node.epoch == epoch_) {
+    for (int i = 0; i < kChildrenPerNode; ++i)
+      free_subtree(node.child_ref(i), tombstone_shared);
+    free_node(ref);
+    return;
+  }
+  // Shared with V_{i-1}: may not be freed or mutated structurally. Mark the
+  // subtree root as deleted (tombstone); GC reclaims it once the version
+  // that references it is superseded (§3.2, Deletion).
+  if (tombstone_shared && !node.deleted()) {
+    node.flags |= kNodeDeleted;
+    write_node(ref, node);
+  }
+}
+
+void PmOctree::remove(const LocCode& code) {
+  PMO_CHECK_MSG(code.level() > 0, "cannot remove the root octant");
+  Path path;
+  PMO_CHECK_MSG(descend(code, path),
+                "remove of nonexistent octant " << code.to_string());
+  const NodeRef doomed = path.back().ref;
+  const std::size_t pi = path.size() - 2;
+  make_mutable(path, pi);
+  path[pi].node.set_child(code.child_index(), NodeRef{});
+  write_node(path[pi].ref, path[pi].node);
+  free_subtree(doomed, /*tombstone_shared=*/true);
+}
+
+void PmOctree::refine(
+    const LocCode& leaf,
+    const std::function<void(const LocCode&, CellData&)>& init) {
+  Path path;
+  PMO_CHECK_MSG(descend(leaf, path),
+                "refine of nonexistent octant " << leaf.to_string());
+  PMO_CHECK_MSG(path.back().node.is_leaf(), "refine requires a leaf");
+  PMO_CHECK_MSG(leaf.level() < kMaxLevel, "cannot refine beyond kMaxLevel");
+  const std::size_t li = path.size() - 1;
+  make_mutable(path, li);
+  PNode parent = path[li].node;
+  for (int ci = 0; ci < kChildrenPerNode; ++ci) {
+    PNode child{};
+    child.code = parent.code.child(ci);
+    child.data = parent.data;
+    child.epoch = epoch_;
+    child.set_parent(path[li].ref);
+    if (init) init(child.code, child.data);
+    parent.set_child(ci, alloc_node(child, place_new(child.code)));
+  }
+  write_node(path[li].ref, parent);
+  note_depth(leaf.level() + 1);
+}
+
+void PmOctree::coarsen(const LocCode& parent_code) {
+  Path path;
+  PMO_CHECK_MSG(descend(parent_code, path),
+                "coarsen of nonexistent octant " << parent_code.to_string());
+  PMO_CHECK_MSG(!path.back().node.is_leaf(),
+                "coarsen requires an internal octant");
+  const std::size_t pi = path.size() - 1;
+  make_mutable(path, pi);
+  PNode parent = path[pi].node;
+  CellData acc{};
+  for (int ci = 0; ci < kChildrenPerNode; ++ci) {
+    const NodeRef c = parent.child_ref(ci);
+    PMO_CHECK_MSG(!c.null(), "coarsen: missing child octant");
+    const PNode child = read_node(c);
+    acc.vof += child.data.vof / kChildrenPerNode;
+    acc.tracer += child.data.tracer / kChildrenPerNode;
+    acc.u += child.data.u / kChildrenPerNode;
+    acc.v += child.data.v / kChildrenPerNode;
+    acc.w += child.data.w / kChildrenPerNode;
+    acc.pressure += child.data.pressure / kChildrenPerNode;
+  }
+  for (int ci = 0; ci < kChildrenPerNode; ++ci) {
+    free_subtree(parent.child_ref(ci), /*tombstone_shared=*/true);
+    parent.set_child(ci, NodeRef{});
+  }
+  parent.data = acc;
+  write_node(path[pi].ref, parent);
+}
+
+std::size_t PmOctree::refine_where(
+    const std::function<bool(const LocCode&, const CellData&)>& pred,
+    const std::function<void(const LocCode&, CellData&)>& init) {
+  std::vector<LocCode> to_split;
+  for_each_leaf([&](const LocCode& code, const CellData& data) {
+    if (code.level() < kMaxLevel && pred(code, data))
+      to_split.push_back(code);
+  });
+  for (const auto& code : to_split) refine(code, init);
+  enforce_dram_budget();
+  return to_split.size();
+}
+
+std::size_t PmOctree::coarsen_where(
+    const std::function<bool(const LocCode&, const CellData&)>& pred) {
+  // Find internal nodes whose children are all agreeing leaves.
+  std::vector<LocCode> groups;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node = read_node(ref);
+    if (node.is_leaf()) continue;
+    bool all_leaf = true;
+    bool all_agree = true;
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (c.null()) {
+        all_leaf = false;
+        continue;
+      }
+      const PNode child = read_node(c);
+      if (!child.is_leaf()) {
+        all_leaf = false;
+        stack.push_back(c);  // keep scanning deeper groups
+      } else {
+        all_agree &= pred(child.code, child.data);
+      }
+    }
+    if (all_leaf && all_agree) groups.push_back(node.code);
+  }
+  for (const auto& g : groups) coarsen(g);
+  return groups.size();
+}
+
+namespace {
+// Cover query over the Morton-sorted leaf array: a leaf at level l covers
+// the contiguous key range [key, key + 8^(kMaxLevel-l)), so the covering
+// leaf of any probe code is its predecessor by key. This is how
+// production octree codes answer balance queries (one tree read builds
+// the array, then pure in-cache binary searches) — re-descending from
+// the root 26 times per leaf would dominate every other routine.
+const LocCode& cover_in_sorted(const std::vector<LocCode>& leaves,
+                               const LocCode& probe) {
+  auto it = std::upper_bound(
+      leaves.begin(), leaves.end(), probe,
+      [](const LocCode& a, const LocCode& b) { return a.key() < b.key(); });
+  PMO_DCHECK(it != leaves.begin());
+  return *(it - 1);
+}
+}  // namespace
+
+std::size_t PmOctree::balance() {
+  std::size_t total = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // One traversal (pre-order DFS yields Morton order already).
+    std::vector<LocCode> leaves;
+    for_each_leaf(
+        [&](const LocCode& code, const CellData&) { leaves.push_back(code); });
+    std::vector<LocCode> to_split;
+    for (const auto& leaf : leaves) {
+      for (const auto& d : LocCode::neighbor_directions()) {
+        LocCode ncode;
+        if (!leaf.neighbor(d[0], d[1], d[2], ncode)) continue;
+        const LocCode& adj = cover_in_sorted(leaves, ncode);
+        if (adj.level() < leaf.level() - 1) to_split.push_back(adj);
+      }
+    }
+    std::sort(to_split.begin(), to_split.end());
+    to_split.erase(std::unique(to_split.begin(), to_split.end()),
+                   to_split.end());
+    for (const auto& code : to_split) {
+      Path path;
+      if (descend(code, path) && path.back().node.is_leaf()) {
+        refine(code);
+        ++total;
+        changed = true;
+      }
+    }
+  }
+  enforce_dram_budget();
+  return total;
+}
+
+bool PmOctree::is_balanced() {
+  std::vector<LocCode> leaves;
+  for_each_leaf(
+      [&](const LocCode& code, const CellData&) { leaves.push_back(code); });
+  for (const auto& leaf : leaves) {
+    for (const auto& d : LocCode::neighbor_directions()) {
+      LocCode ncode;
+      if (!leaf.neighbor(d[0], d[1], d[2], ncode)) continue;
+      if (cover_in_sorted(leaves, ncode).level() < leaf.level() - 1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// merging / persistence
+// ---------------------------------------------------------------------------
+
+NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
+  if (ref.null()) return ref;
+  if (ref.in_nvbm()) {
+    PNode node = device().load<PNode>(ref.nvbm_offset());
+    if (node.epoch != epoch_) return ref;  // shared subtree: all NVBM already
+    bool changed = false;
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      const NodeRef nc = nvbmify(c, moved);
+      if (!(nc == c)) {
+        node.set_child(i, nc);
+        changed = true;
+      }
+    }
+    if (changed) write_node(ref, node);
+    return ref;
+  }
+  // DRAM node: convert children first, then move the node itself out.
+  charge_dram_read();
+  PNode node = *ref.dram_ptr();
+  const bool clean = node.epoch != epoch_;
+  for (int i = 0; i < kChildrenPerNode; ++i)
+    node.set_child(i, nvbmify(node.child_ref(i), moved));
+  // A clean octant whose children land exactly on its durable twin's
+  // recorded children can be evicted by *linking the twin* — no new NVBM
+  // object, no write (the common case when a cold C0 subtree is merged
+  // out unchanged).
+  if (const auto it = twins_.find(ref.dram_ptr());
+      clean && it != twins_.end()) {
+    const std::uint64_t twin_off = it->second;
+    const PNode twin = device().load<PNode>(twin_off);
+    bool match = true;
+    for (int i = 0; i < kChildrenPerNode; ++i)
+      match &= twin.child[i] == node.child[i];
+    if (match) {
+      free_node(ref);  // also drops the twins_ entry
+      ++(*moved);
+      return NodeRef::nvbm(twin_off);
+    }
+  }
+  const std::uint64_t off = heap_.alloc(kNodeSize);
+  const NodeRef nref = NodeRef::nvbm(off);
+  device().store<PNode>(off, node);
+  // Fix advisory parent pointers of private (current-epoch) children.
+  for (int i = 0; i < kChildrenPerNode; ++i) {
+    const NodeRef c = node.child_ref(i);
+    if (c.null()) continue;
+    PNode child = device().load<PNode>(c.nvbm_offset());
+    if (child.epoch == epoch_) {
+      child.set_parent(nref);
+      device().store<PNode>(c.nvbm_offset(), child);
+    }
+  }
+  free_node(ref);
+  ++(*moved);
+  return nref;
+}
+
+void PmOctree::census_add(SampleCensus& census, const LocCode& code,
+                          const CellData& data, bool in_dram) {
+  const int lsub = subtree_level();
+  if (code.level() < lsub) return;
+  auto& b = census[code.ancestor_at(lsub)];
+  ++b.size;
+  if (in_dram) ++b.dram;
+  if (b.sample.size() < config_.n_sample) {
+    b.sample.emplace_back(code, data);
+  } else {
+    const auto j = rng_.below(b.size);
+    if (j < config_.n_sample)
+      b.sample[static_cast<std::size_t>(j)] = {code, data};
+  }
+}
+
+PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
+                                                PersistStats& stats,
+                                                std::size_t* changed,
+                                                SampleCensus* census) {
+  if (ref.null()) return {ref, ref, false};
+  ++stats.nodes_total;
+  if (ref.in_nvbm()) {
+    PNode node = device().load<PNode>(ref.nvbm_offset());
+    if (census != nullptr)
+      census_add(*census, node.code, node.data, false);
+    if (node.epoch != epoch_) {
+      // Shared with V_{i-1}. Invariant: a shared NVBM node never has DRAM
+      // descendants (established by the conversion below at the persist
+      // that made it shared, and structural changes CoW it private).
+      return {ref, ref, false};
+    }
+    // Private NVBM node: persist the children first.
+    ++(*changed);
+    MergeResult child_res[kChildrenPerNode];
+    bool have_dram_child = false;
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      child_res[i] =
+          persist_subtree(node.child_ref(i), stats, changed, census);
+      if (!child_res[i].wref.null() && child_res[i].wref.in_dram())
+        have_dram_child = true;
+    }
+    if (!have_dram_child) {
+      // Whole subtree NVBM: this node serves both versions in place.
+      bool relink = false;
+      for (int i = 0; i < kChildrenPerNode; ++i) {
+        if (!(child_res[i].pref == node.child_ref(i))) {
+          node.set_child(i, child_res[i].pref);
+          relink = true;
+        }
+      }
+      if (relink) write_node(ref, node);
+      return {ref, ref, true};  // created this epoch: new vs V_{i-1}
+    }
+    // This node sits above DRAM children: split it into a DRAM working
+    // copy (joining C0, which keeps the no-NVBM-above-DRAM invariant)
+    // plus an NVBM twin for the persistent version.
+    PNode twin = node;
+    PNode working = node;
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      twin.set_child(i, child_res[i].pref);
+      working.set_child(i, child_res[i].wref);
+    }
+    twin.set_parent(NodeRef{});
+    const std::uint64_t twin_off = heap_.alloc(sizeof(PNode));
+    device().store<PNode>(twin_off, twin);
+    PNode* slot = nullptr;
+    if (!dram_free_.empty()) {
+      slot = dram_free_.back();
+      dram_free_.pop_back();
+    } else {
+      dram_pool_.emplace_back();
+      slot = &dram_pool_.back();
+    }
+    *slot = working;
+    ++dram_node_count_;
+    charge_dram_write();
+    twins_[slot] = twin_off;
+    heap_.free(ref.nvbm_offset());
+    ++stats.merged_from_dram;
+    return {NodeRef::dram(slot), NodeRef::nvbm(twin_off), true};
+  }
+
+  // DRAM node: persist the children first, then decide whether the twin
+  // from the previous persist can be reused.
+  charge_dram_read();
+  PNode* ptr = ref.dram_ptr();
+  if (census != nullptr) census_add(*census, ptr->code, ptr->data, true);
+  const bool dirty = ptr->epoch == epoch_;
+  PNode twin_content = *ptr;
+  bool child_changed = false;
+  bool working_relink = false;
+  for (int i = 0; i < kChildrenPerNode; ++i) {
+    const auto sub =
+        persist_subtree(twin_content.child_ref(i), stats, changed, census);
+    twin_content.set_child(i, sub.pref);
+    child_changed |= sub.changed;
+    if (!(sub.wref == ptr->child_ref(i))) {
+      ptr->set_child(i, sub.wref);
+      working_relink = true;
+    }
+  }
+  if (working_relink) charge_dram_write();
+  const auto twin_it = twins_.find(ptr);
+  if (!dirty && !child_changed && twin_it != twins_.end()) {
+    return {ref, NodeRef::nvbm(twin_it->second), false};  // reuse: shared
+  }
+  // Write a fresh durable twin; the old one (if any) still belongs to
+  // V_{i-1} and is reclaimed by GC once that version is superseded.
+  twin_content.epoch = epoch_;
+  twin_content.set_parent(NodeRef{});  // advisory; fixed by the parent
+  const std::uint64_t off = heap_.alloc(sizeof(PNode));
+  device().store<PNode>(off, twin_content);
+  twins_[ptr] = off;
+  ++stats.merged_from_dram;
+  ++(*changed);
+  return {ref, NodeRef::nvbm(off), true};
+}
+
+PersistStats PmOctree::persist() {
+  PersistStats stats;
+
+  // 1. Merge: give every octant of V_i an NVBM representative. Changed
+  //    octants (and octants whose subtree changed) get fresh storage;
+  //    everything else is shared with V_{i-1}. The DRAM working copies
+  //    (C0) stay in place. The same walk counts octants, counts changes,
+  //    and collects the feature-sampling census — no extra traversals.
+  std::size_t changed = 0;
+  SampleCensus census;
+  const bool want_census =
+      config_.enable_transform && !features_.empty();
+  const auto res = persist_subtree(cur_root_, stats, &changed,
+                                   want_census ? &census : nullptr);
+  const NodeRef new_prev = res.pref;
+  cur_root_ = res.wref;  // NVBM-above-DRAM nodes may have joined C0
+  PMO_CHECK(new_prev.in_nvbm());
+  stats.nodes_shared =
+      stats.nodes_total - std::min(changed, stats.nodes_total);
+  stats.overlap_ratio =
+      stats.nodes_total == 0
+          ? 0.0
+          : static_cast<double>(stats.nodes_shared) /
+                static_cast<double>(stats.nodes_total);
+  stats.delta_bytes = changed * kNodeSize;
+
+  // 2. Make everything durable, then atomically swing the persistent root.
+  //    This 8-byte update is the only ordering-critical write (§1).
+  device().flush_all();
+  device().persist_barrier();
+  const NodeRef old_prev = prev_root_;
+  heap_.set_root(kPrevRootSlot, new_prev.nvbm_offset());
+  heap_.set_root(kEpochSlot, epoch_);
+
+  // 3. Tombstone octants that existed only in the superseded version.
+  //    When GC runs right away it reclaims them directly, so the explicit
+  //    marking pass is only needed for deferred collection.
+  if (!config_.gc_on_persist && !old_prev.null() &&
+      !(old_prev == new_prev)) {
+    std::unordered_set<std::uint64_t> in_new;
+    collect_reachable_nvbm(new_prev, in_new);
+    std::vector<NodeRef> stack{old_prev};
+    while (!stack.empty()) {
+      const NodeRef ref = stack.back();
+      stack.pop_back();
+      if (in_new.count(ref.nvbm_offset()) != 0) continue;
+      PNode node = device().load<PNode>(ref.nvbm_offset());
+      if (!node.deleted()) {
+        node.flags |= kNodeDeleted;
+        device().store<PNode>(ref.nvbm_offset(), node);
+        ++stats.tombstoned;
+      }
+      for (int i = 0; i < kChildrenPerNode; ++i) {
+        const NodeRef c = node.child_ref(i);
+        if (!c.null() && in_new.count(c.nvbm_offset()) == 0)
+          stack.push_back(c);
+      }
+    }
+  }
+
+  prev_root_ = new_prev;
+  ++epoch_;
+
+  // 4. Reclaim superseded octants (GC is never run *during* the merge).
+  if (config_.gc_on_persist) stats.gc_freed = gc();
+
+  // 5. Decay heat and re-layout hot subtrees (the paper triggers dynamic
+  //    transformation only after merging completes).
+  for (auto& [id, h] : heat_) h *= 0.5;
+  if (want_census) transform_with(census);
+
+  // 6. Automated C0 sizing (the paper's §6 future work): adapt the DRAM
+  //    budget to keep the NVBM tier's share of memory accesses in band.
+  if (config_.auto_budget) {
+    const std::uint64_t dram_now = dram_.reads + dram_.writes;
+    const std::uint64_t nvbm_now = device().counters().total_accesses();
+    const double d = static_cast<double>(dram_now - auto_last_dram_);
+    const double n = static_cast<double>(nvbm_now - auto_last_nvbm_);
+    auto_last_dram_ = dram_now;
+    auto_last_nvbm_ = nvbm_now;
+    if (d + n > 0) {
+      const double nvbm_share = n / (d + n);
+      double budget = static_cast<double>(config_.dram_budget_bytes);
+      if (nvbm_share > config_.auto_budget_high) {
+        budget *= config_.auto_budget_step;
+      } else if (nvbm_share < config_.auto_budget_low) {
+        budget /= config_.auto_budget_step;
+      }
+      config_.dram_budget_bytes = std::clamp(
+          static_cast<std::size_t>(budget), config_.auto_budget_min_bytes,
+          config_.auto_budget_max_bytes);
+    }
+  }
+
+  return stats;
+}
+
+void PmOctree::collect_reachable_nvbm(
+    NodeRef root, std::unordered_set<std::uint64_t>& out) {
+  if (root.null()) return;
+  std::vector<NodeRef> stack{root};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    if (ref.in_nvbm()) {
+      if (!out.insert(ref.nvbm_offset()).second) continue;
+    }
+    const PNode node = ref.in_dram()
+                           ? *ref.dram_ptr()
+                           : device().load<PNode>(ref.nvbm_offset());
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+}
+
+std::size_t PmOctree::gc() {
+  std::unordered_set<std::uint64_t> live;
+  collect_reachable_nvbm(prev_root_, live);
+  collect_reachable_nvbm(cur_root_, live);
+  return heap_.sweep(
+      [&](std::uint64_t off) { return live.count(off) != 0; });
+}
+
+void PmOctree::destroy() {
+  dram_pool_.clear();
+  dram_free_.clear();
+  twins_.clear();
+  dram_node_count_ = 0;
+  cur_root_ = NodeRef{};
+  prev_root_ = NodeRef{};
+  heap_.set_root(kPrevRootSlot, 0);
+  heap_.set_root(kEpochSlot, 0);
+  heap_.sweep([](std::uint64_t) { return false; });
+  c0_set_.clear();
+  heat_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// dynamic layout transformation (§3.3)
+// ---------------------------------------------------------------------------
+
+NodeRef PmOctree::dramify(NodeRef ref, std::size_t* moved,
+                          std::size_t node_limit) {
+  if (ref.null()) return ref;
+  if (*moved >= node_limit) return ref;
+  if (ref.in_dram()) {
+    charge_dram_read();
+    PNode node = *ref.dram_ptr();
+    bool changed = false;
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      const NodeRef nc = dramify(c, moved, node_limit);
+      if (!(nc == c)) {
+        node.set_child(i, nc);
+        changed = true;
+      }
+    }
+    if (changed) write_node(ref, node);
+    return ref;
+  }
+  PNode node = device().load<PNode>(ref.nvbm_offset());
+  const bool shared = node.epoch != epoch_;
+  PNode copy = node;
+  for (int i = 0; i < kChildrenPerNode; ++i)
+    copy.set_child(i, dramify(copy.child_ref(i), moved, node_limit));
+  if (dram_bytes() >= config_.dram_budget_bytes) return ref;
+  // Place the copy in DRAM (force: this is the transformation's purpose).
+  PNode* slot = nullptr;
+  if (!dram_free_.empty()) {
+    slot = dram_free_.back();
+    dram_free_.pop_back();
+  } else {
+    dram_pool_.emplace_back();
+    slot = &dram_pool_.back();
+  }
+  if (shared) {
+    // The original stays as V_{i-1}'s copy AND becomes the DRAM node's
+    // durable twin: the octant is unchanged, only its residence moved, so
+    // the next persist can keep sharing it.
+    twins_[slot] = ref.nvbm_offset();
+  } else {
+    // Private original: the DRAM copy simply replaces it.
+    copy.epoch = epoch_;
+    heap_.free(ref.nvbm_offset());
+  }
+  *slot = copy;
+  ++dram_node_count_;
+  charge_dram_write();
+  const NodeRef nref = NodeRef::dram(slot);
+  ++(*moved);
+  return nref;
+}
+
+TransformStats PmOctree::maybe_transform() {
+  TransformStats out;
+  if (features_.empty() || config_.dram_budget_bytes == 0) return out;
+  const int lsub = subtree_level();
+  if (lsub <= 0) return out;  // whole tree fits in DRAM; nothing to do
+  // Standalone invocation: collect the census with one traversal (the
+  // persist path collects it during the merge instead).
+  SampleCensus census;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node = read_node(ref);
+    census_add(census, node.code, node.data, ref.in_dram());
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+  return transform_with(census);
+}
+
+TransformStats PmOctree::transform_with(SampleCensus& buckets) {
+  TransformStats out;
+  if (features_.empty() || config_.dram_budget_bytes == 0) return out;
+  if (subtree_level() <= 0) return out;
+  out.subtrees_sampled = buckets.size();
+
+  // Pre-execute the feature functions over each bucket's sample (§3.3
+  // step 2-3): frequency = number of octants the application flags.
+  auto frequency = [&](const SampleBucket& b) {
+    std::size_t hits = 0;
+    for (const auto& [code, data] : b.sample) {
+      for (const auto& f : features_) {
+        if (f(code, data)) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    return hits;
+  };
+
+  // Rank every subtree by its sampled feature frequency.
+  struct Ranked {
+    LocCode id;
+    std::size_t freq = 0;
+    std::size_t size = 0;
+    std::size_t dram = 0;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(buckets.size());
+  for (auto& [id, b] : buckets) {
+    out.octants_sampled += b.sample.size();
+    ranked.push_back({id, frequency(b), b.size, b.dram});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.freq != b.freq) return a.freq > b.freq;
+              return a.dram > b.dram;  // prefer already-resident on ties
+            });
+
+  // Plan the desired C0: the hottest subtrees that fit the DRAM budget.
+  const std::size_t capacity = config_.dram_budget_bytes / kNodeSize;
+  std::unordered_set<LocCode, LocCodeHash> desired;
+  std::size_t planned = 0;
+  std::size_t pull_freq = 0;  // strongest pending pull (Freq^NVBM)
+  for (const auto& r : ranked) {
+    if (r.freq == 0) break;
+    if (planned + r.size > capacity) continue;  // try smaller hot buckets
+    desired.insert(r.id);
+    planned += r.size;
+    if (r.dram < r.size) pull_freq = std::max(pull_freq, r.freq);
+  }
+  if (desired.empty()) return out;
+
+  // Relink helper: replaces the subtree rooted at `id` with conv(subtree).
+  auto replace_subtree = [&](const LocCode& id, bool to_dram,
+                             std::size_t* moved) {
+    Path path;
+    if (!descend(id, path)) return;
+    const std::size_t i = path.size() - 1;
+    if (i > 0) make_mutable(path, i - 1);
+    const NodeRef nref = to_dram ? dramify(path[i].ref, moved, capacity)
+                                 : nvbmify(path[i].ref, moved);
+    if (i == 0) {
+      cur_root_ = nref;
+    } else if (!(nref == path[i].ref)) {
+      path[i - 1].node.set_child(id.child_index(), nref);
+      write_node(path[i - 1].ref, path[i - 1].node);
+    }
+    if (to_dram) {
+      c0_set_.insert(id);
+    } else {
+      c0_set_.erase(id);
+    }
+  };
+
+  // Evict resident subtrees outside the plan when Ratio_access (hottest
+  // pending pull vs the resident subtree) exceeds T_transform (§3.3).
+  for (auto it = ranked.rbegin(); it != ranked.rend(); ++it) {  // asc freq
+    if (it->dram == 0 || desired.count(it->id) != 0) continue;
+    const double ratio = (static_cast<double>(pull_freq) + 1.0) /
+                         (static_cast<double>(it->freq) + 1.0);
+    out.best_ratio = std::max(out.best_ratio, ratio);
+    if (ratio <= config_.t_transform) continue;
+    replace_subtree(it->id, /*to_dram=*/false, &out.evicted_to_nvbm);
+  }
+  // Pull the planned hot subtrees into DRAM (hottest first) until the
+  // budget is reached; dramify itself stops allocating at the budget, so
+  // the last pull may be partial. Never overshoot: that would put every
+  // subsequent mutation through the eviction machinery.
+  for (const auto& r : ranked) {
+    if (dram_bytes() >= config_.dram_budget_bytes) break;
+    if (desired.count(r.id) == 0 || r.dram == r.size) continue;
+    replace_subtree(r.id, /*to_dram=*/true, &out.moved_to_dram);
+  }
+  out.transformed = out.moved_to_dram > 0 || out.evicted_to_nvbm > 0;
+  return out;
+}
+
+void PmOctree::enforce_dram_budget() {
+  if (dram_bytes() <= config_.dram_budget_bytes) return;
+  const int lsub = subtree_level();
+  // Tally DRAM nodes per subtree id.
+  std::unordered_map<LocCode, std::size_t, LocCodeHash> counts;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node =
+        ref.in_dram() ? *ref.dram_ptr()
+                      : device().load<PNode>(ref.nvbm_offset());
+    if (ref.in_dram() && node.code.level() >= lsub)
+      ++counts[node.code.ancestor_at(lsub)];
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+  // Evict coldest first (the paper's least-frequently-accessed policy).
+  std::vector<std::pair<double, LocCode>> order;
+  order.reserve(counts.size());
+  for (const auto& [id, n] : counts) {
+    const auto it = heat_.find(id);
+    order.emplace_back(it == heat_.end() ? 0.0 : it->second, id);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [h, id] : order) {
+    if (dram_bytes() <= config_.dram_budget_bytes) break;
+    Path path;
+    if (!descend(id, path)) continue;
+    const std::size_t i = path.size() - 1;
+    if (i > 0) make_mutable(path, i - 1);
+    std::size_t moved = 0;
+    const NodeRef nref = nvbmify(path[i].ref, &moved);
+    if (i == 0) {
+      cur_root_ = nref;
+    } else if (!(nref == path[i].ref)) {
+      path[i - 1].node.set_child(id.child_index(), nref);
+      write_node(path[i - 1].ref, path[i - 1].node);
+    }
+    c0_set_.erase(id);
+    if (moved > 0) ++eviction_merges_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// accounting
+// ---------------------------------------------------------------------------
+
+PmStats PmOctree::stats() {
+  PmStats s;
+  std::unordered_set<std::uint64_t> nvbm_union;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    const PNode node =
+        ref.in_dram() ? *ref.dram_ptr()
+                      : device().load<PNode>(ref.nvbm_offset());
+    ++s.nodes;
+    if (node.is_leaf()) ++s.leaves;
+    if (ref.in_dram()) {
+      ++s.dram_nodes;
+    } else {
+      ++s.nvbm_nodes_vi;
+      nvbm_union.insert(ref.nvbm_offset());
+    }
+    s.depth = std::max(s.depth, node.code.level());
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+  collect_reachable_nvbm(prev_root_, nvbm_union);
+  s.unique_physical_nodes = s.dram_nodes + nvbm_union.size();
+  s.dram_bytes = dram_bytes();
+  s.nvbm_live_bytes = nvbm_union.size() * kNodeSize;
+  depth_ = std::max(depth_, s.depth);
+  return s;
+}
+
+std::uint64_t PmOctree::modeled_ns() const {
+  return dram_.modeled_ns() + heap_.device().counters().modeled_ns();
+}
+
+void PmOctree::reset_counters() {
+  dram_ = DramCounters{};
+  device().reset_counters();
+}
+
+}  // namespace pmo::pmoctree

@@ -1,0 +1,332 @@
+// PM-octree: persistent merged octree over DRAM + emulated NVBM.
+//
+// The data structure of the paper (§3). One logical octree, two versions:
+//
+//  * V_{i-1}: the last persisted version, entirely in NVBM, never mutated.
+//    It is the recovery point; pm_restore() returns it in O(1).
+//  * V_i: the working version. Hot subtrees (C0) live in DRAM, the rest
+//    (C1) in NVBM. V_i shares every unmodified octant with V_{i-1}
+//    (copy-on-write path copying, Fig. 4).
+//
+// Consistency argument (paper §1/§3): no per-write fence is needed because
+// V_{i-1} is immutable while V_i is being built; the only update that must
+// be atomic and durable is the 8-byte root-address swap at the end of
+// persist(). The randomized crash-injection tests exercise precisely this.
+//
+// Epoch rule: every physical node records the persist epoch in which it
+// was created. epoch < current  =>  node may be shared with V_{i-1}, so a
+// mutation must copy it (and path-copy its ancestors). epoch == current
+// =>  private to V_i, mutable in place. DRAM nodes are always private
+// (V_{i-1} is NVBM-only by construction).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nvbm/heap.hpp"
+#include "octree/octree.hpp"
+#include "pmoctree/config.hpp"
+#include "pmoctree/node.hpp"
+
+namespace pmo::pmoctree {
+
+/// Application feature function (§3.3): returns true when the octant's
+/// subdomain is "of interest" — e.g. the refinement predicate or a solver
+/// touch predicate. Used by feature-directed sampling, never for physics.
+using FeatureFn = std::function<bool(const LocCode&, const CellData&)>;
+
+/// Result of one persist() call (drives Fig. 3 and the replica model).
+struct PersistStats {
+  std::size_t nodes_total = 0;    ///< octants in V_i at persist time
+  std::size_t nodes_shared = 0;   ///< octants shared with V_{i-1}
+  std::size_t merged_from_dram = 0;  ///< C0 octants written out to C1
+  std::size_t tombstoned = 0;     ///< old-version-only octants marked
+  std::size_t gc_freed = 0;
+  std::uint64_t delta_bytes = 0;  ///< replica delta size (new/changed nodes)
+  double overlap_ratio = 0.0;     ///< shared / total (the paper's metric)
+};
+
+/// Point-in-time structural statistics.
+struct PmStats {
+  std::size_t nodes = 0;          ///< nodes reachable from V_i
+  std::size_t leaves = 0;
+  std::size_t dram_nodes = 0;     ///< C0 size in nodes
+  std::size_t nvbm_nodes_vi = 0;  ///< V_i nodes resident in NVBM
+  std::size_t unique_physical_nodes = 0;  ///< union of V_{i-1} and V_i
+  std::size_t dram_bytes = 0;
+  std::size_t nvbm_live_bytes = 0;
+  int depth = 0;
+};
+
+/// Outcome of a dynamic layout transformation check (§3.3).
+struct TransformStats {
+  bool transformed = false;
+  std::size_t subtrees_sampled = 0;
+  std::size_t octants_sampled = 0;
+  std::size_t moved_to_dram = 0;
+  std::size_t evicted_to_nvbm = 0;
+  double best_ratio = 0.0;  ///< Ratio_access that triggered (or not)
+};
+
+class PmOctree {
+ public:
+  /// pm_create with an empty (root-only) octree.
+  static PmOctree create(nvbm::Heap& heap, PmConfig config = {});
+  /// pm_create(octree*): adopts an existing in-core octree (Table 1).
+  static PmOctree create_from(nvbm::Heap& heap, const octree::Octree& tree,
+                              PmConfig config = {});
+  /// pm_restore: attach to a heap holding a persisted version; V_i starts
+  /// as an alias of V_{i-1}. O(1) — no octant is copied or read.
+  static PmOctree restore(nvbm::Heap& heap, PmConfig config = {});
+  /// True when the heap contains a restorable persisted version.
+  static bool can_restore(nvbm::Heap& heap);
+
+  PmOctree(PmOctree&&) noexcept = default;
+  PmOctree& operator=(PmOctree&&) noexcept = delete;
+  PmOctree(const PmOctree&) = delete;
+  PmOctree& operator=(const PmOctree&) = delete;
+
+  // ---- queries on the working version V_i --------------------------------
+
+  /// Exact-match lookup; nullopt when the octant does not exist in V_i.
+  std::optional<CellData> find(const LocCode& code);
+  bool contains(const LocCode& code);
+  /// True when the octant exists and has no children.
+  bool is_leaf(const LocCode& code);
+  /// Data of the leaf whose volume contains `code`.
+  CellData sample(const LocCode& code);
+  /// Locational code of the leaf containing `code`.
+  LocCode leaf_containing(const LocCode& code);
+
+  void for_each_leaf(
+      const std::function<void(const LocCode&, const CellData&)>& fn);
+  /// Mutable leaf visit. `fn` returns true when it modified the data; the
+  /// tree then performs the copy-on-write write-back along the current
+  /// DFS path (no re-descent).
+  void for_each_leaf_mut(
+      const std::function<bool(const LocCode&, CellData&)>& fn);
+  /// Like for_each_leaf_mut, but subtrees for which `visit` returns false
+  /// are pruned from the traversal (region-restricted solver sweeps).
+  void for_each_leaf_mut_pruned(
+      const std::function<bool(const LocCode&)>& visit,
+      const std::function<bool(const LocCode&, CellData&)>& fn);
+  void for_each_node(const std::function<void(const LocCode&, const CellData&,
+                                              bool leaf)>& fn);
+  /// Extended node visit that also reports the residence tier (for tests
+  /// and layout diagnostics).
+  void for_each_node_ex(
+      const std::function<void(const LocCode&, const CellData&, bool leaf,
+                               bool in_dram)>& fn);
+  /// Read-only traversal of the persisted version V_{i-1}.
+  void for_each_leaf_prev(
+      const std::function<void(const LocCode&, const CellData&)>& fn);
+
+  std::size_t node_count();
+  std::size_t leaf_count();
+  int depth() const noexcept { return depth_; }
+  bool has_prev_version() const noexcept { return !prev_root_.null(); }
+
+  // ---- mutation of V_i ----------------------------------------------------
+
+  /// Ensures the octant exists (creating ancestors as needed) and sets its
+  /// payload. Copy-on-write applies to any shared node on the path.
+  void insert(const LocCode& code, const CellData& data);
+  /// Updates an existing octant's payload (Fig. 4b).
+  void update(const LocCode& code, const CellData& data);
+  /// Removes the subtree rooted at `code` from V_i. NVBM octants still
+  /// referenced by V_{i-1} are tombstoned, not freed (§3.2, Deletion).
+  void remove(const LocCode& code);
+  /// Splits a leaf into 8 children (children inherit data; `init` may
+  /// override).
+  void refine(const LocCode& leaf,
+              const std::function<void(const LocCode&, CellData&)>& init =
+                  nullptr);
+  /// Drops all (leaf) children of `parent` in V_i, averaging their data
+  /// into the parent.
+  void coarsen(const LocCode& parent);
+
+  std::size_t refine_where(
+      const std::function<bool(const LocCode&, const CellData&)>& pred,
+      const std::function<void(const LocCode&, CellData&)>& init = nullptr);
+  std::size_t coarsen_where(
+      const std::function<bool(const LocCode&, const CellData&)>& pred);
+  /// 2:1 balance of V_i (ripple refinement).
+  std::size_t balance();
+  bool is_balanced();
+
+  // ---- persistence & versioning -------------------------------------------
+
+  /// pm_persistent: merge C0 into C1, make V_i durable, atomically swap the
+  /// persistent root, tombstone the superseded version, optionally GC, and
+  /// run the dynamic layout transformation.
+  PersistStats persist();
+
+  /// Mark-and-sweep garbage collection: frees every NVBM node unreachable
+  /// from both roots. Returns the number of octants reclaimed.
+  std::size_t gc();
+
+  /// pm_delete: frees all octants in both tiers and clears the roots.
+  void destroy();
+
+  // ---- feature-directed sampling / layout (§3.3) --------------------------
+
+  void register_feature(FeatureFn fn) {
+    features_.push_back(std::move(fn));
+  }
+  void clear_features() { features_.clear(); }
+
+  /// Runs the transformation check and, when Ratio_access > T_transform,
+  /// re-lays out the tree (hot NVBM subtree into DRAM, coldest C0 subtree
+  /// out). Called automatically by persist(); exposed for tests/ablations.
+  TransformStats maybe_transform();
+
+  /// Feature-directed sampling census of one subtree bucket (§3.3). The
+  /// persist-time merge collects these on the fly so the transformation
+  /// needs no extra tree traversal.
+  struct SampleBucket {
+    std::vector<std::pair<LocCode, CellData>> sample;
+    std::size_t size = 0;
+    std::size_t dram = 0;
+  };
+  using SampleCensus =
+      std::unordered_map<LocCode, SampleBucket, LocCodeHash>;
+
+  /// The paper's Eq. 1 subtree level, from current depth and DRAM budget.
+  int subtree_level() const noexcept;
+
+  /// Current (possibly auto-adapted) C0 DRAM budget in bytes.
+  std::size_t dram_budget() const noexcept {
+    return config_.dram_budget_bytes;
+  }
+
+  // ---- accounting ----------------------------------------------------------
+
+  PmStats stats();
+  const DramCounters& dram_counters() const noexcept { return dram_; }
+  const PmConfig& config() const noexcept { return config_; }
+  nvbm::Heap& heap() noexcept { return heap_; }
+  nvbm::Device& device() noexcept { return heap_.device(); }
+  std::uint32_t epoch() const noexcept { return epoch_; }
+  /// Root of the working version V_i (ADDR(V_i) in the paper).
+  NodeRef current_root() const noexcept { return cur_root_; }
+  /// Root of the persisted version V_{i-1} (ADDR(V_{i-1})).
+  NodeRef previous_root() const noexcept { return prev_root_; }
+  /// Total modeled memory time (DRAM + NVBM) in nanoseconds.
+  std::uint64_t modeled_ns() const;
+  /// Number of C0->C1 subtree merges forced by DRAM pressure (the merge
+  /// count the paper reports in the Fig. 10 DRAM-size study).
+  std::size_t eviction_merges() const noexcept { return eviction_merges_; }
+  void reset_counters();
+
+  // Durable root-table slots (public for tests & crash tooling).
+  static constexpr int kPrevRootSlot = 0;
+  static constexpr int kEpochSlot = 1;
+
+ private:
+  PmOctree(nvbm::Heap& heap, PmConfig config);
+
+  // node access layer ------------------------------------------------------
+  PNode read_node(NodeRef ref);
+  void write_node(NodeRef ref, const PNode& node);
+  NodeRef alloc_node(const PNode& proto, bool prefer_dram);
+  void free_node(NodeRef ref);
+  void charge_dram_read();
+  void charge_dram_write();
+  void touch_heat(const LocCode& code, double amount);
+
+  // placement --------------------------------------------------------------
+  LocCode subtree_id(const LocCode& code) const;
+  /// Placement for brand-new octants (insert/refine children): DRAM while
+  /// there is headroom, or while the octant's subtree is C0-designated
+  /// (hot), matching "an octant inserted into C0 is eventually merged out
+  /// to C1" (§3.2).
+  bool place_new(const LocCode& code) const;
+  /// True when the octant's subtree is C0-designated (hot) and the DRAM
+  /// overflow ceiling is not yet hit. Used by place_new; hot subtrees may
+  /// transiently exceed the plain budget.
+  bool place_cow(const LocCode& code) const;
+  std::size_t dram_bytes() const noexcept {
+    return dram_node_count_ * sizeof(PNode);
+  }
+  void enforce_dram_budget();
+
+  // structural helpers ------------------------------------------------------
+  struct PathEntry {
+    NodeRef ref;
+    PNode node;
+  };
+  using Path = std::vector<PathEntry>;
+  /// Descends from the V_i root to the deepest existing ancestor of
+  /// `code`; fills `path` (path[0] = root). Returns true when the exact
+  /// octant exists (path.back() is it).
+  bool descend(const LocCode& code, Path& path);
+  /// Makes path[i]'s node mutable in place (copy-on-write as needed),
+  /// updating the path and parent links. Returns the (possibly new) ref.
+  NodeRef make_mutable(Path& path, std::size_t i);
+  /// Converts the whole subtree to NVBM residence (the eviction path of
+  /// the merge routine: the DRAM copies are dropped).
+  NodeRef nvbmify(NodeRef ref, std::size_t* moved);
+  /// The persist-time merge: ensures every octant of V_i has an NVBM
+  /// representative. DRAM octants get durable *twins* (reused when the
+  /// octant and its subtree are unchanged since the last persist); the
+  /// DRAM copies remain as the working C0. Returns the persistent ref and
+  /// whether it differs from the previous version's.
+  struct MergeResult {
+    NodeRef wref;           ///< working-version ref (may change: NVBM
+                            ///< nodes above DRAM children migrate to DRAM)
+    NodeRef pref;           ///< persistent-version ref (always NVBM)
+    bool changed = false;   ///< pref differs from the previous version's
+  };
+  MergeResult persist_subtree(NodeRef ref, PersistStats& stats,
+                              std::size_t* changed, SampleCensus* census);
+  /// Adds one octant to the sampling census (reservoir per subtree).
+  void census_add(SampleCensus& census, const LocCode& code,
+                  const CellData& data, bool in_dram);
+  /// Transformation decision/relayout over a precollected census.
+  TransformStats transform_with(SampleCensus& census);
+  /// Copies/moves an NVBM subtree into DRAM (layout transformation).
+  NodeRef dramify(NodeRef ref, std::size_t* moved, std::size_t node_limit);
+  void collect_reachable_nvbm(NodeRef root,
+                              std::unordered_set<std::uint64_t>& out);
+  void free_subtree(NodeRef ref, bool tombstone_shared);
+  void note_depth(int level) noexcept {
+    if (level > depth_) depth_ = level;
+  }
+
+  // state --------------------------------------------------------------------
+  nvbm::Heap& heap_;
+  PmConfig config_;
+
+  std::deque<PNode> dram_pool_;
+  std::vector<PNode*> dram_free_;
+  std::size_t dram_node_count_ = 0;
+  /// Durable twin (NVBM offset) of each DRAM octant, recorded at the last
+  /// persist. A DRAM node whose epoch is older than the current one and
+  /// whose children's persistent refs are unchanged reuses its twin —
+  /// that is how C0 octants participate in version sharing (Fig. 2).
+  std::unordered_map<const PNode*, std::uint64_t> twins_;
+
+  NodeRef cur_root_;
+  NodeRef prev_root_;
+  std::uint32_t epoch_ = 1;
+  int depth_ = 0;
+
+  std::vector<FeatureFn> features_;
+  /// Access heat per subtree id (decayed at each persist).
+  std::unordered_map<LocCode, double, LocCodeHash> heat_;
+  /// Subtree ids currently designated DRAM-resident (the C0 set).
+  std::unordered_set<LocCode, LocCodeHash> c0_set_;
+
+  DramCounters dram_;
+  std::size_t eviction_merges_ = 0;
+  /// Access totals at the last auto-budget adjustment.
+  std::uint64_t auto_last_dram_ = 0;
+  std::uint64_t auto_last_nvbm_ = 0;
+  mutable Rng rng_{0xfeedc0de};
+};
+
+}  // namespace pmo::pmoctree

@@ -1,0 +1,251 @@
+// Backend tests: Etree linear octree, in-core snapshots, and the
+// cross-backend equivalence property (all three implementations must
+// produce the identical mesh for the same deterministic workload).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "amr/droplet.hpp"
+#include "amr/pm_backend.hpp"
+#include "baseline/etree_backend.hpp"
+#include "baseline/incore_backend.hpp"
+
+namespace pmo {
+namespace {
+
+nvbm::Config dev_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kModeled;
+  return c;
+}
+
+using LeafMap = std::map<std::uint64_t, int>;
+
+LeafMap leaves_of(amr::MeshBackend& mesh) {
+  LeafMap out;
+  mesh.visit_leaves([&](const LocCode& c, const CellData&) {
+    out[c.key()] = c.level();
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Etree backend
+// ---------------------------------------------------------------------------
+
+TEST(Etree, StartsWithRootLeaf) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  EXPECT_EQ(mesh.leaf_count(), 1u);
+  LeafMap m = leaves_of(mesh);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.begin()->second, 0);
+}
+
+TEST(Etree, RefineWhereSplitsLeaves) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  EXPECT_EQ(mesh.leaf_count(), 8u);
+  mesh.refine_where(
+      [](const LocCode& c, const CellData&) { return c.child_index() == 0; },
+      nullptr);
+  EXPECT_EQ(mesh.leaf_count(), 7u + 8u);
+}
+
+TEST(Etree, LeavesPartitionDomain) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  Rng rng(5);
+  for (int round = 0; round < 3; ++round) {
+    mesh.refine_where(
+        [&](const LocCode& c, const CellData&) {
+          return c.level() < 5 && rng.chance(0.4);
+        },
+        nullptr);
+  }
+  double volume = 0.0;
+  mesh.visit_leaves([&](const LocCode& c, const CellData&) {
+    const double h = c.size_unit();
+    volume += h * h * h;
+  });
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+}
+
+TEST(Etree, SweepWritesBack) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  mesh.sweep_leaves([](const LocCode&, CellData& d) {
+    d.tracer = 3.5;
+    return true;
+  });
+  mesh.visit_leaves([](const LocCode&, const CellData& d) {
+    EXPECT_DOUBLE_EQ(d.tracer, 3.5);
+  });
+}
+
+TEST(Etree, CoverFindsContainingLeaf) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  mesh.refine_where(
+      [](const LocCode& c, const CellData&) { return c.child_index() == 3; },
+      nullptr);
+  // Probe deep inside the refined child 3.
+  const auto probe = LocCode::root().child(3).child(5).child(0);
+  const auto cover = mesh.cover(probe);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->code(), LocCode::root().child(3).child(5));
+  // And inside an unrefined child.
+  const auto probe2 = LocCode::root().child(6).child(1);
+  EXPECT_EQ(mesh.cover(probe2)->code(), LocCode::root().child(6));
+}
+
+TEST(Etree, BalanceMatchesPointerImplementation) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  // Same center-directed chain as the octree test: unbalanced by 2 levels.
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  auto in = [](const LocCode& target) {
+    return [target](const LocCode& c, const CellData&) {
+      return c == target;
+    };
+  };
+  mesh.refine_where(in(LocCode::root().child(0)), nullptr);
+  mesh.refine_where(in(LocCode::root().child(0).child(7)), nullptr);
+  const auto refined = mesh.balance();
+  EXPECT_GT(refined, 0u);
+  EXPECT_EQ(mesh.balance(), 0u);  // idempotent
+}
+
+TEST(Etree, SurvivesReopenAfterFlush) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  mesh.end_step(0);
+  const auto before = leaves_of(mesh);
+  EXPECT_TRUE(mesh.recover());  // reopen the database
+  EXPECT_EQ(leaves_of(mesh), before);
+}
+
+// ---------------------------------------------------------------------------
+// In-core backend
+// ---------------------------------------------------------------------------
+
+TEST(InCore, SnapshotAndRecoverRoundTrip) {
+  nvbm::Device snap_dev(64 << 20, dev_cfg());
+  baseline::InCoreBackend mesh(snap_dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  mesh.sweep_leaves([](const LocCode& c, CellData& d) {
+    d.vof = static_cast<double>(c.child_index()) / 8.0;
+    return true;
+  });
+  mesh.snapshot();
+  const auto before = leaves_of(mesh);
+
+  // Wreck the in-memory state, then recover from the snapshot.
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  EXPECT_NE(leaves_of(mesh), before);
+  ASSERT_TRUE(mesh.recover());
+  EXPECT_EQ(leaves_of(mesh), before);
+  // Data came back too.
+  mesh.visit_leaves([](const LocCode& c, const CellData& d) {
+    EXPECT_DOUBLE_EQ(d.vof, static_cast<double>(c.child_index()) / 8.0);
+  });
+}
+
+TEST(InCore, RecoverWithoutSnapshotFails) {
+  nvbm::Device snap_dev(16 << 20, dev_cfg());
+  baseline::InCoreBackend mesh(snap_dev);
+  EXPECT_FALSE(mesh.has_snapshot());
+  EXPECT_FALSE(mesh.recover());
+}
+
+TEST(InCore, SnapshotsAtConfiguredInterval) {
+  nvbm::Device snap_dev(64 << 20, dev_cfg());
+  baseline::InCoreConfig cfg;
+  cfg.snapshot_interval = 10;
+  baseline::InCoreBackend mesh(snap_dev, cfg);
+  for (int step = 0; step < 9; ++step) mesh.end_step(step);
+  EXPECT_FALSE(mesh.has_snapshot());
+  mesh.end_step(9);  // 10th step
+  EXPECT_TRUE(mesh.has_snapshot());
+}
+
+TEST(InCore, SnapshotCostScalesWithTreeSize) {
+  nvbm::Device snap_dev(256 << 20, dev_cfg());
+  baseline::InCoreBackend mesh(snap_dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  mesh.snapshot();
+  const auto small_cost = snap_dev.counters().modeled_ns();
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  snap_dev.reset_counters();
+  mesh.snapshot();
+  const auto big_cost = snap_dev.counters().modeled_ns();
+  EXPECT_GT(big_cost, 4 * small_cost);  // 8x leaves, full rewrite
+}
+
+TEST(InCore, OctantsNeverTouchSnapshotNvbmUntilSnapshot) {
+  nvbm::Device snap_dev(64 << 20, dev_cfg());
+  baseline::InCoreBackend mesh(snap_dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  EXPECT_EQ(snap_dev.counters().writes, 0u);
+  mesh.snapshot();
+  EXPECT_GT(snap_dev.counters().writes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend equivalence under the droplet workload
+// ---------------------------------------------------------------------------
+
+class BackendEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalence, AllBackendsProduceIdenticalMeshes) {
+  const int steps = GetParam();
+  amr::DropletParams params;
+  params.min_level = 1;
+  params.max_level = 3;
+
+  nvbm::Device pm_dev(256 << 20, dev_cfg());
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 4 << 20;
+  amr::PmOctreeBackend pm_mesh(pm_dev, pm);
+
+  nvbm::Device snap_dev(256 << 20, dev_cfg());
+  baseline::InCoreBackend incore(snap_dev);
+
+  nvbm::Device etree_dev(256 << 20, dev_cfg());
+  baseline::EtreeBackend etree(etree_dev);
+
+  amr::MeshBackend* meshes[] = {&pm_mesh, &incore, &etree};
+  LeafMap results[3];
+  for (int m = 0; m < 3; ++m) {
+    amr::DropletWorkload wl(params);
+    wl.initialize(*meshes[m]);
+    for (int s = 0; s < steps; ++s) wl.step(*meshes[m], s);
+    results[m] = leaves_of(*meshes[m]);
+  }
+  EXPECT_EQ(results[0], results[1])
+      << "PM-octree vs in-core mesh divergence";
+  EXPECT_EQ(results[0], results[2])
+      << "PM-octree vs out-of-core mesh divergence";
+  EXPECT_GT(results[0].size(), 64u);  // the workload actually refined
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, BackendEquivalence,
+                         ::testing::Values(1, 3));
+
+}  // namespace
+}  // namespace pmo

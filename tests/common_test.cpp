@@ -1,0 +1,173 @@
+// Tests for RNG, stats, timing helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timing.hpp"
+
+namespace pmo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+    EXPECT_LT(rng.below(1), 1u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(77);
+  std::array<int, 8> counts{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalHasUnitMoments) {
+  Rng rng(11);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent() == child());
+  EXPECT_LT(same, 3);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(TablePrinter, FormatsAlignedTable) {
+  TablePrinter t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "20000"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("20000"), std::string::npos);
+  EXPECT_NE(out.find("|"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongWidthRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractError);
+}
+
+TEST(TablePrinter, HumanUnits) {
+  EXPECT_EQ(TablePrinter::human_bytes(512), "512B");
+  EXPECT_EQ(TablePrinter::human_bytes(2048), "2.00KiB");
+  EXPECT_EQ(TablePrinter::human_count(1'500'000), "1.50M");
+  EXPECT_EQ(TablePrinter::human_count(1'077'000'000), "1.08G");
+}
+
+TEST(TimeBreakdown, AccumulatesAndPercents) {
+  TimeBreakdown tb;
+  tb.add_seconds("Refine", 3.0);
+  tb.add_seconds("Balance", 1.0);
+  tb.add_seconds("Refine", 1.0);
+  EXPECT_DOUBLE_EQ(tb.seconds("Refine"), 4.0);
+  EXPECT_DOUBLE_EQ(tb.total_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(tb.percent("Refine"), 80.0);
+  EXPECT_DOUBLE_EQ(tb.percent("Missing"), 0.0);
+}
+
+TEST(TimeBreakdown, MergeAddsBuckets) {
+  TimeBreakdown a, b;
+  a.add_seconds("x", 1.0);
+  b.add_seconds("x", 2.0);
+  b.add_seconds("y", 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds("y"), 3.0);
+}
+
+TEST(SpinCalibration, TicksPerNsIsPositiveAndStable) {
+  const double a = SpinCalibration::ticks_per_ns();
+  const double b = SpinCalibration::ticks_per_ns();
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // memoized
+}
+
+TEST(Spin, DelaysAtLeastRequested) {
+  WallTimer t;
+  spin_ns(200000);  // 200us
+  // Allow generous slack: the VM clock is coarse, but it must not return
+  // immediately.
+  EXPECT_GE(t.nanos(), 150000u);
+}
+
+TEST(ScopedTimer, AccumulatesIntoBucket) {
+  TimeBreakdown tb;
+  {
+    ScopedTimer t(tb, "scope");
+    spin_ns(50000);
+  }
+  EXPECT_GT(tb.seconds("scope"), 0.0);
+}
+
+}  // namespace
+}  // namespace pmo

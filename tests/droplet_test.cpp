@@ -1,0 +1,195 @@
+// Droplet-ejection workload physics/shape tests.
+#include "amr/droplet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/pm_backend.hpp"
+
+namespace pmo::amr {
+namespace {
+
+nvbm::Config dev_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kModeled;
+  return c;
+}
+
+TEST(Droplet, ReservoirIsLiquid) {
+  DropletWorkload wl;
+  EXPECT_GT(wl.phi(0.5, 0.5, 0.03, 0.0), 0.0);   // on axis, in reservoir
+  EXPECT_LT(wl.phi(0.05, 0.05, 0.03, 0.0), 0.0);  // far corner is gas
+}
+
+TEST(Droplet, FarFieldIsGas) {
+  DropletWorkload wl;
+  for (double t : {0.0, 0.5, 1.0}) {
+    EXPECT_LT(wl.phi(0.9, 0.9, 0.1, t), 0.0);
+    EXPECT_LT(wl.phi(0.9, 0.9, 0.5, t), 0.0);
+  }
+}
+
+TEST(Droplet, JetAdvancesOverTime) {
+  DropletWorkload wl;
+  const auto& p = wl.params();
+  // A point on the axis beyond the nozzle becomes liquid once the tip
+  // passes it.
+  const double z = p.nozzle_z + 0.15;
+  EXPECT_LT(wl.phi(p.axis_x, p.axis_y, z, 0.0), 0.0);
+  const double t_arrival = 0.15 / p.jet_speed;
+  // Probe mid-segment (phase-dependent): at least some times after
+  // arrival the point is liquid.
+  bool ever_liquid = false;
+  for (double t = t_arrival; t < t_arrival + 0.5; t += 0.02) {
+    ever_liquid |= wl.phi(p.axis_x, p.axis_y, z, t) > 0.0;
+  }
+  EXPECT_TRUE(ever_liquid);
+}
+
+TEST(Droplet, CapillaryWaveEventuallyPinches) {
+  // With the amplitude growing, necks (r <= 0 on the axis radius profile)
+  // must appear: the jet breaks into droplet segments.
+  DropletWorkload wl;
+  const auto& p = wl.params();
+  const double t = 2.0;  // late: amplitude saturated, jet long
+  int transitions = 0;
+  bool was_liquid = false;
+  for (double z = p.nozzle_z + 1e-4; z < 0.92; z += 1e-3) {
+    const bool liquid = wl.phi(p.axis_x, p.axis_y, z, t) > 0.0;
+    transitions += (liquid != was_liquid);
+    was_liquid = liquid;
+  }
+  // Several segments => several liquid/gas transitions along the axis.
+  EXPECT_GE(transitions, 4);
+}
+
+TEST(Droplet, VofCellSmearedBetweenZeroAndOne) {
+  DropletWorkload wl;
+  // Deep inside the reservoir (bottom of the domain, on the axis).
+  const auto inside = LocCode::from_grid(4, 8, 8, 0);
+  EXPECT_DOUBLE_EQ(wl.vof_cell(inside, 0.0), 1.0);
+  // Far-field gas.
+  const auto outside = LocCode::from_grid(4, 1, 1, 14);
+  EXPECT_DOUBLE_EQ(wl.vof_cell(outside, 0.0), 0.0);
+}
+
+TEST(Droplet, InitializeRefinesInterfaceToMaxLevel) {
+  nvbm::Device dev(512 << 20, dev_cfg());
+  PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  DropletParams p;
+  p.min_level = 1;
+  p.max_level = 4;
+  DropletWorkload wl(p);
+  wl.initialize(mesh);
+
+  int max_seen = 0;
+  std::size_t interface_cells = 0;
+  mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+    max_seen = std::max(max_seen, c.level());
+    if (is_interface_cell(d)) {
+      ++interface_cells;
+      // Interface must be resolved at the maximum level.
+      EXPECT_EQ(c.level(), p.max_level);
+    }
+  });
+  EXPECT_EQ(max_seen, p.max_level);
+  EXPECT_GT(interface_cells, 50u);
+}
+
+TEST(Droplet, StepKeepsMeshBalancedAndRefined) {
+  nvbm::Device dev(512 << 20, dev_cfg());
+  PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  DropletParams p;
+  p.min_level = 1;
+  p.max_level = 3;
+  DropletWorkload wl(p);
+  wl.initialize(mesh);
+  for (int s = 0; s < 3; ++s) {
+    const auto st = wl.step(mesh, s);
+    EXPECT_GT(st.leaves, 0u);
+    EXPECT_TRUE(mesh.tree().is_balanced()) << "step " << s;
+    // Interface still at max level after the step.
+    mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+      if (is_interface_cell(d)) {
+        EXPECT_EQ(c.level(), p.max_level);
+      }
+    });
+  }
+}
+
+TEST(Droplet, HotRegionMovesBetweenSteps) {
+  // The overlap between consecutive interface sets must be partial: the
+  // jet advances, so some cells enter/leave the hot band each step —
+  // that is what makes the layout transformation worthwhile.
+  nvbm::Device dev(512 << 20, dev_cfg());
+  PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  DropletParams p;
+  p.min_level = 1;
+  p.max_level = 3;
+  p.dt = 0.3;  // tip advances about one max-level cell per step
+  DropletWorkload wl(p);
+  wl.initialize(mesh);
+
+  auto interface_set = [&] {
+    std::set<std::uint64_t> out;
+    mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+      if (is_interface_cell(d)) out.insert(c.key());
+    });
+    return out;
+  };
+  wl.step(mesh, 0);
+  const auto a = interface_set();
+  wl.step(mesh, 1);
+  const auto b = interface_set();
+  std::size_t common = 0;
+  for (const auto k : b) common += a.count(k);
+  EXPECT_GT(common, 0u);        // overlap exists (paper: 39-99%)
+  EXPECT_LT(common, b.size());  // but the hot set moved
+}
+
+TEST(Droplet, PersistStatsShowHighOverlap) {
+  // Fig. 3: adjacent time steps share most octants.
+  nvbm::Device dev(512 << 20, dev_cfg());
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 0;  // everything NVBM: sharing fully visible
+  PmOctreeBackend mesh(dev, pm);
+  DropletParams p;
+  p.min_level = 2;
+  p.max_level = 4;
+  DropletWorkload wl(p);
+  wl.initialize(mesh);
+  wl.step(mesh, 0);
+  const auto st1 = mesh.last_persist();
+  wl.step(mesh, 1);
+  const auto st2 = mesh.last_persist();
+  (void)st1;
+  EXPECT_GT(st2.overlap_ratio, 0.30);
+  EXPECT_LT(st2.overlap_ratio, 1.00);
+}
+
+TEST(Droplet, StepStatsAccountModeledTime) {
+  nvbm::Device dev(512 << 20, dev_cfg());
+  PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  DropletParams p;
+  p.min_level = 1;
+  p.max_level = 3;
+  DropletWorkload wl(p);
+  wl.initialize(mesh);
+  const auto before = mesh.modeled_ns();
+  const auto st = wl.step(mesh, 0);
+  const auto after = mesh.modeled_ns();
+  EXPECT_EQ(st.total_ns(), after - before);
+  EXPECT_GT(st.solve_ns, 0u);
+  EXPECT_GT(st.persist_ns, 0u);
+}
+
+TEST(Droplet, RejectsBadLevels) {
+  DropletParams p;
+  p.min_level = 5;
+  p.max_level = 3;
+  EXPECT_THROW(DropletWorkload{p}, ContractError);
+}
+
+}  // namespace
+}  // namespace pmo::amr

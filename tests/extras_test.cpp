@@ -1,0 +1,272 @@
+// Tests for cross-cutting features added by the reproduction: pruned
+// sweeps, durable-twin reuse, residence reporting, mesh extraction.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "amr/droplet.hpp"
+#include "amr/extract.hpp"
+#include "amr/pm_backend.hpp"
+#include "baseline/etree_backend.hpp"
+
+namespace pmo {
+namespace {
+
+nvbm::Config dev_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kModeled;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// NodeRef tagging
+// ---------------------------------------------------------------------------
+
+TEST(NodeRef, TaggingRoundTrips) {
+  using pmoctree::NodeRef;
+  using pmoctree::PNode;
+  NodeRef null;
+  EXPECT_TRUE(null.null());
+  EXPECT_FALSE(null.in_dram());
+  EXPECT_FALSE(null.in_nvbm());
+
+  PNode node;
+  const auto d = NodeRef::dram(&node);
+  EXPECT_TRUE(d.in_dram());
+  EXPECT_FALSE(d.in_nvbm());
+  EXPECT_EQ(d.dram_ptr(), &node);
+
+  const auto n = NodeRef::nvbm(0x1234560);
+  EXPECT_TRUE(n.in_nvbm());
+  EXPECT_FALSE(n.in_dram());
+  EXPECT_EQ(n.nvbm_offset(), 0x1234560u);
+
+  EXPECT_EQ(NodeRef::from_bits(d.bits()), d);
+  EXPECT_EQ(NodeRef::from_bits(n.bits()), n);
+}
+
+// ---------------------------------------------------------------------------
+// Pruned sweeps
+// ---------------------------------------------------------------------------
+
+TEST(PrunedSweep, VisitsOnlyMatchingSubtrees) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  amr::PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  for (int l = 0; l < 3; ++l) {
+    mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                      nullptr);
+  }
+  // Restrict to the root's child-0 octant.
+  const auto region = LocCode::root().child(0);
+  std::set<std::uint64_t> visited;
+  mesh.sweep_leaves_pruned(
+      [&](const LocCode& c) { return region.contains(c) || c.contains(region); },
+      [&](const LocCode& c, CellData&) {
+        visited.insert(c.key());
+        return false;
+      });
+  EXPECT_EQ(visited.size(), 64u);  // 8^2 leaves inside child 0
+  for (const auto k : visited) {
+    const auto a = morton_decode3(k);
+    EXPECT_LT(a[0], (1u << kMaxLevel) / 2);
+  }
+}
+
+TEST(PrunedSweep, PruningSkipsNvbmReads) {
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 0;  // everything NVBM: reads are countable
+  nvbm::Device dev(128 << 20, dev_cfg());
+  amr::PmOctreeBackend mesh(dev, pm);
+  for (int l = 0; l < 3; ++l) {
+    mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                      nullptr);
+  }
+  const auto region = LocCode::root().child(5);
+  dev.reset_counters();
+  mesh.sweep_leaves_pruned(
+      [&](const LocCode& c) { return region.contains(c) || c.contains(region); },
+      [](const LocCode&, CellData&) { return false; });
+  const auto pruned_reads = dev.counters().reads;
+  dev.reset_counters();
+  mesh.sweep_leaves([](const LocCode&, CellData&) { return false; });
+  const auto full_reads = dev.counters().reads;
+  EXPECT_LT(pruned_reads * 4, full_reads);  // ~1/8 of the tree visited
+}
+
+TEST(PrunedSweep, DefaultFallbackOnEtree) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  baseline::EtreeBackend mesh(dev);
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  const auto region = LocCode::root().child(2);
+  int writes = 0;
+  mesh.sweep_leaves_pruned(
+      [&](const LocCode& c) { return region.contains(c); },
+      [&](const LocCode&, CellData& d) {
+        d.tracer = 1.0;
+        ++writes;
+        return true;
+      });
+  EXPECT_EQ(writes, 1);  // only the child-2 leaf matched
+  EXPECT_DOUBLE_EQ(mesh.sample(region.child(0)).tracer, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Durable twins
+// ---------------------------------------------------------------------------
+
+TEST(Twins, UnchangedTreeReusesTwinsAcrossPersists) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  pmoctree::PmConfig pm;  // default budget: everything in DRAM
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  tree.refine(LocCode::root());
+  const auto s1 = tree.persist();
+  EXPECT_EQ(s1.merged_from_dram, 9u);  // every octant got a twin
+  const auto live_after_first = heap.stats().live_objects;
+  const auto s2 = tree.persist();      // nothing changed
+  EXPECT_EQ(s2.merged_from_dram, 0u);  // all twins reused
+  EXPECT_DOUBLE_EQ(s2.overlap_ratio, 1.0);
+  EXPECT_EQ(heap.stats().live_objects, live_after_first);
+}
+
+TEST(Twins, DirtyOctantGetsFreshTwinOthersShared) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = pmoctree::PmOctree::create(heap, pmoctree::PmConfig{});
+  tree.refine(LocCode::root());
+  tree.persist();
+  CellData d;
+  d.vof = 0.5;
+  tree.update(LocCode::root().child(4), d);
+  const auto stats = tree.persist();
+  // New twins: the dirty child and (child-changed) the root.
+  EXPECT_EQ(stats.merged_from_dram, 2u);
+  EXPECT_EQ(stats.nodes_shared, 7u);
+}
+
+TEST(Twins, RestoreSeesTwinContent) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  {
+    auto tree = pmoctree::PmOctree::create(heap, pmoctree::PmConfig{});
+    tree.refine(LocCode::root(), [](const LocCode& c, CellData& d) {
+      d.pressure = 10.0 + c.child_index();
+    });
+    tree.persist();
+  }
+  auto back = pmoctree::PmOctree::restore(heap, pmoctree::PmConfig{});
+  for (int i = 0; i < kChildrenPerNode; ++i) {
+    EXPECT_DOUBLE_EQ(back.find(LocCode::root().child(i))->pressure,
+                     10.0 + i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Residence reporting
+// ---------------------------------------------------------------------------
+
+TEST(Residence, ForEachNodeExMatchesStats) {
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 20 * sizeof(pmoctree::PNode);
+  nvbm::Device dev(128 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  for (int l = 0; l < 2; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  std::size_t dram = 0, nvbm_n = 0, leaves = 0;
+  tree.for_each_node_ex(
+      [&](const LocCode&, const CellData&, bool leaf, bool in_dram) {
+        leaves += leaf;
+        (in_dram ? dram : nvbm_n) += 1;
+      });
+  const auto s = tree.stats();
+  EXPECT_EQ(dram, s.dram_nodes);
+  EXPECT_EQ(nvbm_n, s.nvbm_nodes_vi);
+  EXPECT_EQ(leaves, s.leaves);
+}
+
+// ---------------------------------------------------------------------------
+// Extraction (the paper's Extract routine)
+// ---------------------------------------------------------------------------
+
+TEST(Extract, SummarizeCountsInterfaceAndVolume) {
+  nvbm::Device dev(256 << 20, dev_cfg());
+  amr::PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  amr::DropletParams p;
+  p.min_level = 2;
+  p.max_level = 3;
+  amr::DropletWorkload wl(p);
+  wl.initialize(mesh);
+  const auto s = amr::summarize(mesh);
+  EXPECT_EQ(s.leaves, mesh.leaf_count());
+  EXPECT_GT(s.interface_cells, 0u);
+  EXPECT_GT(s.liquid_volume, 0.0);
+  EXPECT_LT(s.liquid_volume, 0.2);  // a jet, not a flooded domain
+  EXPECT_EQ(s.max_level, p.max_level);
+}
+
+TEST(Extract, WriteVtkProducesValidHeaderAndCellCounts) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  amr::PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  mesh.refine_where([](const LocCode&, const CellData&) { return true; },
+                    nullptr);
+  const std::string path = "/tmp/pmo_extract_test.vtk";
+  const auto cells = amr::write_vtk(mesh, path);
+  EXPECT_EQ(cells, 8u);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vtk DataFile Version 3.0");
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("POINTS 64 double"), std::string::npos);
+  EXPECT_NE(all.find("CELLS 8 72"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS vof double 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Extract, SliceRendersLiquidAndGas) {
+  nvbm::Device dev(256 << 20, dev_cfg());
+  amr::PmOctreeBackend mesh(dev, pmoctree::PmConfig{});
+  amr::DropletParams p;
+  p.min_level = 2;
+  p.max_level = 3;
+  amr::DropletWorkload wl(p);
+  wl.initialize(mesh);
+  std::ostringstream os;
+  amr::print_slice(mesh, os, 0.5, 40, 20);
+  const auto art = os.str();
+  EXPECT_NE(art.find('#'), std::string::npos);  // liquid (reservoir)
+  EXPECT_NE(art.find('.'), std::string::npos);  // gas
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-feature window
+// ---------------------------------------------------------------------------
+
+TEST(HotFeature, WindowTracksTip) {
+  amr::DropletWorkload wl;
+  const auto& p = wl.params();
+  CellData interface_cell;
+  interface_cell.vof = 0.5;
+  // A cell at the initial tip is hot at t=0...
+  const auto grid = [&](double v) {
+    return static_cast<std::uint32_t>(v * (1 << 6));
+  };
+  const auto near_nozzle =
+      LocCode::from_grid(6, grid(0.5), grid(0.5), grid(p.nozzle_z + 0.02));
+  EXPECT_TRUE(wl.hot_feature_at(near_nozzle, interface_cell, 0.0));
+  // ...but not once the tip has advanced far beyond it.
+  EXPECT_FALSE(wl.hot_feature_at(near_nozzle, interface_cell, 2.0));
+  // Gas cells are never hot.
+  CellData gas;
+  EXPECT_FALSE(wl.hot_feature_at(near_nozzle, gas, 0.0));
+}
+
+}  // namespace
+}  // namespace pmo

@@ -1,0 +1,159 @@
+// Gerris shim tests: the ftt_cell_* surface and simulation persistence.
+#include "gfs/gfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmo::gfs {
+namespace {
+
+pmoctree::PmConfig pm_cfg() { return pmoctree::PmConfig{}; }
+
+TEST(Gfs, RootCellGeometry) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  EXPECT_EQ(ftt_cell_level(root), 0);
+  EXPECT_DOUBLE_EQ(ftt_cell_size(root), 1.0);
+  double x = 0, y = 0, z = 0;
+  ftt_cell_pos(root, &x, &y, &z);
+  EXPECT_DOUBLE_EQ(x, 0.5);
+  EXPECT_DOUBLE_EQ(y, 0.5);
+  EXPECT_DOUBLE_EQ(z, 0.5);
+  EXPECT_TRUE(ftt_cell_is_root(root));
+  EXPECT_TRUE(ftt_cell_is_leaf(root));
+}
+
+TEST(Gfs, RefineAndChildAccess) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root, [](FttCell& cell, CellData& d) {
+    d.tracer = static_cast<double>(ftt_cell_level(cell));
+  });
+  EXPECT_FALSE(ftt_cell_is_leaf(root));
+  for (int i = 0; i < 8; ++i) {
+    auto child = ftt_cell_child(root, i);
+    EXPECT_EQ(ftt_cell_level(child), 1);
+    EXPECT_DOUBLE_EQ(ftt_cell_data(child).tracer, 1.0);
+    EXPECT_EQ(ftt_cell_parent(child).code, root.code);
+  }
+}
+
+TEST(Gfs, NeighborDirections) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  auto c0 = ftt_cell_child(root, 0);
+  auto right = ftt_cell_neighbor(c0, FTT_RIGHT);
+  ASSERT_TRUE(right.valid());
+  EXPECT_EQ(right.code, root.code.child(1));
+  // Child 0 touches the -x boundary.
+  EXPECT_FALSE(ftt_cell_neighbor(c0, FTT_LEFT).valid());
+  auto top = ftt_cell_neighbor(c0, FTT_TOP);
+  EXPECT_EQ(top.code, root.code.child(2));
+  auto front = ftt_cell_neighbor(c0, FTT_FRONT);
+  EXPECT_EQ(front.code, root.code.child(4));
+}
+
+TEST(Gfs, NeighborOfFinerCellIsCoarser) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  auto c0 = ftt_cell_child(root, 0);
+  ftt_cell_refine(c0);
+  auto fine = ftt_cell_child(c0, 1);  // +x side of child 0
+  auto n = ftt_cell_neighbor(fine, FTT_RIGHT);
+  ASSERT_TRUE(n.valid());
+  EXPECT_EQ(n.code, root.code.child(1));  // coarser neighbor
+}
+
+TEST(Gfs, TraverseLeafsOnly) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  int visited = 0;
+  ftt_cell_traverse(root, FTT_PRE_ORDER, FTT_TRAVERSE_LEAFS, -1,
+                    [&](FttCell&, CellData&) { ++visited; });
+  EXPECT_EQ(visited, 8);
+  visited = 0;
+  ftt_cell_traverse(root, FTT_PRE_ORDER, FTT_TRAVERSE_NON_LEAFS, -1,
+                    [&](FttCell&, CellData&) { ++visited; });
+  EXPECT_EQ(visited, 1);  // just the root
+}
+
+TEST(Gfs, TraverseRespectsMaxDepth) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  auto c0 = ftt_cell_child(root, 0);
+  ftt_cell_refine(c0);
+  int visited = 0;
+  ftt_cell_traverse(root, FTT_PRE_ORDER, FTT_TRAVERSE_ALL, 1,
+                    [&](FttCell&, CellData&) { ++visited; });
+  EXPECT_EQ(visited, 9);  // root + 8 level-1
+}
+
+TEST(Gfs, TraverseWritesBackModifications) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  ftt_cell_traverse(root, FTT_PRE_ORDER, FTT_TRAVERSE_LEAFS, -1,
+                    [](FttCell&, CellData& d) { d.vof = 0.8; });
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(ftt_cell_data(ftt_cell_child(root, i)).vof, 0.8);
+  }
+}
+
+TEST(Gfs, CoarsenMergesChildren) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  ftt_cell_coarsen(root);
+  EXPECT_TRUE(ftt_cell_is_leaf(root));
+}
+
+TEST(Gfs, WriteAndReadReplaceSnapshots) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  ftt_cell_traverse(root, FTT_PRE_ORDER, FTT_TRAVERSE_LEAFS, -1,
+                    [](FttCell&, CellData& d) { d.pressure = 101.3; });
+  EXPECT_FALSE(sim.has_saved_state());
+  const auto stats = sim.gfs_simulation_write();
+  EXPECT_GT(stats.nodes_total, 0u);
+  EXPECT_TRUE(sim.has_saved_state());
+
+  // Wreck state, then read back (the pm_restore path).
+  ftt_cell_traverse(root, FTT_PRE_ORDER, FTT_TRAVERSE_LEAFS, -1,
+                    [](FttCell&, CellData& d) { d.pressure = -1.0; });
+  sim.gfs_simulation_read();
+  auto fresh_root = sim.root();
+  ftt_cell_traverse(fresh_root, FTT_PRE_ORDER, FTT_TRAVERSE_LEAFS, -1,
+                    [](FttCell&, CellData& d) {
+                      EXPECT_DOUBLE_EQ(d.pressure, 101.3);
+                    });
+}
+
+TEST(Gfs, HandlesStayValidAcrossCopyOnWrite) {
+  // The whole point of code-based handles: a persist (which relocates
+  // every octant into NVBM) must not invalidate cell handles.
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  auto c3 = ftt_cell_child(root, 3);
+  sim.gfs_simulation_write();  // merge: all octants move to NVBM
+  CellData d = ftt_cell_data(c3);  // handle still resolves
+  d.tracer = 5.0;
+  ftt_cell_set_data(c3, d);
+  EXPECT_DOUBLE_EQ(ftt_cell_data(c3).tracer, 5.0);
+}
+
+TEST(Gfs, StaleHandleDetected) {
+  GfsSimulation sim(32 << 20, pm_cfg());
+  auto root = sim.root();
+  ftt_cell_refine(root);
+  auto c0 = ftt_cell_child(root, 0);
+  ftt_cell_coarsen(root);  // c0 no longer exists
+  EXPECT_THROW(ftt_cell_data(c0), ContractError);
+}
+
+}  // namespace
+}  // namespace pmo::gfs

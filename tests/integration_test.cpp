@@ -1,0 +1,204 @@
+// End-to-end integration: the paper's §5.6 scenario as a test — run the
+// droplet simulation, crash the machine mid-step, restore, and CONTINUE
+// the simulation to completion. The restarted run must pick up from the
+// last persisted step and remain structurally sound.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "amr/droplet.hpp"
+#include "amr/pm_backend.hpp"
+#include "pmoctree/api.hpp"
+
+namespace pmo {
+namespace {
+
+nvbm::Config crash_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kNone;
+  c.crash_sim = true;
+  return c;
+}
+
+amr::DropletParams params() {
+  amr::DropletParams p;
+  p.min_level = 1;
+  p.max_level = 3;
+  p.dt = 0.15;
+  return p;
+}
+
+using LeafMap = std::map<std::uint64_t, double>;
+
+LeafMap leaves_of(pmoctree::PmOctree& t) {
+  LeafMap out;
+  t.for_each_leaf([&](const LocCode& c, const CellData& d) {
+    out[c.key() | (std::uint64_t(c.level()) << 60)] = d.vof;
+  });
+  return out;
+}
+
+TEST(Integration, CrashMidSimulationRestartContinue) {
+  const int kTotalSteps = 8;
+  const int kCrashAfter = 4;
+
+  // Reference run: no crash.
+  LeafMap reference;
+  {
+    nvbm::Device dev(256 << 20, crash_cfg());
+    nvbm::Heap heap(dev);
+    pmoctree::PmConfig pm;
+    pm.dram_budget_bytes = 2 << 20;
+    amr::PmOctreeBackend mesh(dev, pm);
+    amr::DropletWorkload wl(params());
+    wl.initialize(mesh);
+    for (int s = 0; s < kTotalSteps; ++s) wl.step(mesh, s);
+    reference = leaves_of(mesh.tree());
+  }
+
+  // Crashed run: same simulation, power failure inside step kCrashAfter,
+  // then restart from the persisted state and continue.
+  nvbm::Device dev(256 << 20, crash_cfg());
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 2 << 20;
+  {
+    nvbm::Heap heap(dev);
+    auto tree = pmoctree::pm_create(heap, nullptr, pm);
+    amr::DropletWorkload wl(params());
+    // Drive the tree directly through a thin local backend so the crash
+    // can interrupt mid-step.
+    amr::PmOctreeBackend mesh_like(dev, pm);  // unused; direct drive below
+    (void)mesh_like;
+  }
+  // Fresh device for the real crashed run (the block above validated
+  // construction paths only).
+  nvbm::Device dev2(256 << 20, crash_cfg());
+  {
+    nvbm::Heap heap(dev2);
+    amr::PmOctreeBackend mesh(dev2, pm);
+    amr::DropletWorkload wl(params());
+    wl.initialize(mesh);
+    for (int s = 0; s < kCrashAfter; ++s) wl.step(mesh, s);
+    // Begin step kCrashAfter but "die" before its persist.
+    wl.step(mesh, kCrashAfter, /*persist=*/false);
+  }
+  Rng rng(7);
+  dev2.simulate_crash(rng, 0.4);
+
+  // Reboot: restore and continue the remaining steps. The workload object
+  // is reconstructed (its only state is time = step * dt).
+  {
+    nvbm::Heap heap(dev2);
+    ASSERT_TRUE(pmoctree::PmOctree::can_restore(heap));
+    auto tree = pmoctree::pm_restore(heap, pm);
+    tree->gc();  // recovery GC reclaims the lost working version
+    // Wrap the restored tree in a backend-compatible driver: re-run the
+    // interrupted step and the rest.
+    struct RestoredBackend final : amr::MeshBackend {
+      pmoctree::PmOctree& t;
+      explicit RestoredBackend(pmoctree::PmOctree& tr) : t(tr) {}
+      std::string name() const override { return "restored"; }
+      void sweep_leaves(const amr::LeafMutFn& fn) override {
+        t.for_each_leaf_mut(fn);
+      }
+      void sweep_leaves_pruned(
+          const std::function<bool(const LocCode&)>& v,
+          const amr::LeafMutFn& fn) override {
+        t.for_each_leaf_mut_pruned(v, fn);
+      }
+      void visit_leaves(const amr::LeafFn& fn) override {
+        t.for_each_leaf(fn);
+      }
+      std::size_t refine_where(const amr::LeafPred& p,
+                               const amr::ChildInit& i) override {
+        return t.refine_where(p, i);
+      }
+      std::size_t coarsen_where(const amr::LeafPred& p) override {
+        return t.coarsen_where(p);
+      }
+      std::size_t balance() override { return t.balance(); }
+      CellData sample(const LocCode& c) override { return t.sample(c); }
+      std::size_t leaf_count() override { return t.leaf_count(); }
+      void end_step(int) override { t.persist(); }
+      bool recover() override { return true; }
+      std::uint64_t modeled_ns() const override { return t.modeled_ns(); }
+      std::uint64_t nvbm_writes() const override { return 0; }
+      std::uint64_t memory_bytes() override { return 0; }
+    } mesh(*tree);
+
+    amr::DropletWorkload wl(params());
+    for (int s = kCrashAfter; s < kTotalSteps; ++s) wl.step(mesh, s);
+    EXPECT_TRUE(tree->is_balanced());
+    EXPECT_EQ(leaves_of(*tree), reference)
+        << "restarted simulation diverged from the uninterrupted run";
+  }
+}
+
+TEST(Integration, RepeatedCrashesNeverCorrupt) {
+  nvbm::Device dev(256 << 20, crash_cfg());
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 1 << 20;
+  Rng rng(123);
+  int completed = 0;
+  for (int round = 0; round < 4; ++round) {
+    nvbm::Heap heap(dev);
+    auto tree = pmoctree::PmOctree::can_restore(heap)
+                    ? pmoctree::pm_restore(heap, pm)
+                    : pmoctree::pm_create(heap, nullptr, pm);
+    amr::DropletWorkload wl(params());
+    struct Shim final : amr::MeshBackend {
+      pmoctree::PmOctree& t;
+      explicit Shim(pmoctree::PmOctree& tr) : t(tr) {}
+      std::string name() const override { return "shim"; }
+      void sweep_leaves(const amr::LeafMutFn& fn) override {
+        t.for_each_leaf_mut(fn);
+      }
+      void visit_leaves(const amr::LeafFn& fn) override {
+        t.for_each_leaf(fn);
+      }
+      std::size_t refine_where(const amr::LeafPred& p,
+                               const amr::ChildInit& i) override {
+        return t.refine_where(p, i);
+      }
+      std::size_t coarsen_where(const amr::LeafPred& p) override {
+        return t.coarsen_where(p);
+      }
+      std::size_t balance() override { return t.balance(); }
+      CellData sample(const LocCode& c) override { return t.sample(c); }
+      std::size_t leaf_count() override { return t.leaf_count(); }
+      void end_step(int) override { t.persist(); }
+      bool recover() override { return true; }
+      std::uint64_t modeled_ns() const override { return t.modeled_ns(); }
+      std::uint64_t nvbm_writes() const override { return 0; }
+      std::uint64_t memory_bytes() override { return 0; }
+    } mesh(*tree);
+    if (completed == 0) wl.initialize(mesh);
+    // Run 1-2 steps, then crash (sometimes mid-step).
+    const int steps = 1 + static_cast<int>(rng.below(2));
+    for (int s = 0; s < steps; ++s) {
+      wl.step(mesh, completed + s, /*persist=*/rng.chance(0.7));
+    }
+    completed += steps;
+    dev.simulate_crash(rng, rng.uniform());
+  }
+  // Whatever survived must be a structurally valid octree.
+  nvbm::Heap heap(dev);
+  if (pmoctree::PmOctree::can_restore(heap)) {
+    auto tree = pmoctree::pm_restore(heap, pm);
+    std::size_t internal_bad = 0;
+    tree->for_each_node([&](const LocCode& code, const CellData&,
+                            bool leaf) {
+      if (leaf) return;
+      int kids = 0;
+      for (int i = 0; i < kChildrenPerNode; ++i)
+        kids += tree->contains(code.child(i));
+      if (kids != kChildrenPerNode) ++internal_bad;
+    });
+    EXPECT_EQ(internal_bad, 0u);
+    EXPECT_GT(tree->leaf_count(), 0u);
+    tree->gc();
+  }
+}
+
+}  // namespace
+}  // namespace pmo

@@ -1,0 +1,184 @@
+// Tests for the NVBM device emulator: accounting, latency model, store
+// buffer and crash simulation.
+#include "nvbm/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+namespace pmo::nvbm {
+namespace {
+
+Config fast_config() {
+  Config c;
+  c.latency_mode = LatencyMode::kModeled;
+  return c;
+}
+
+TEST(Device, ReadWriteRoundTrips) {
+  Device dev(1 << 16, fast_config());
+  const std::uint64_t value = 0xdeadbeefcafef00dull;
+  dev.store(128, value);
+  EXPECT_EQ(dev.load<std::uint64_t>(128), value);
+}
+
+TEST(Device, RangeChecked) {
+  Device dev(4096, fast_config());
+  std::uint64_t v = 0;
+  EXPECT_THROW(dev.write(4090, &v, 8), ContractError);
+  EXPECT_THROW(dev.read(4096, &v, 1), ContractError);
+  EXPECT_NO_THROW(dev.write(4088, &v, 8));
+}
+
+TEST(Device, CountsReadsAndWrites) {
+  Device dev(1 << 16, fast_config());
+  std::uint32_t v = 7;
+  dev.write(0, &v, sizeof(v));
+  dev.write(64, &v, sizeof(v));
+  dev.read(0, &v, sizeof(v));
+  const auto& c = dev.counters();
+  EXPECT_EQ(c.writes, 2u);
+  EXPECT_EQ(c.reads, 1u);
+  EXPECT_EQ(c.bytes_written, 8u);
+  EXPECT_EQ(c.bytes_read, 4u);
+  EXPECT_NEAR(c.write_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Device, ModeledLatencyUsesTable2Numbers) {
+  Config cfg = fast_config();  // read 100ns, write 150ns per line
+  Device dev(1 << 16, cfg);
+  std::uint32_t v = 1;
+  dev.write(0, &v, sizeof(v));  // 1 line
+  dev.read(0, &v, sizeof(v));   // 1 line
+  EXPECT_EQ(dev.counters().modeled_write_ns, 150u);
+  EXPECT_EQ(dev.counters().modeled_read_ns, 100u);
+}
+
+TEST(Device, MultiLineAccessChargesPerLine) {
+  Device dev(1 << 16, fast_config());
+  std::vector<std::byte> buf(200);
+  dev.write(32, buf.data(), buf.size());  // spans lines 0..3 => 4 lines
+  EXPECT_EQ(dev.counters().lines_written, 4u);
+  EXPECT_EQ(dev.counters().modeled_write_ns, 4u * 150u);
+}
+
+TEST(Device, LatencyModeNoneChargesNothing) {
+  Config cfg;
+  cfg.latency_mode = LatencyMode::kNone;
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 0;
+  dev.write(0, &v, 8);
+  EXPECT_EQ(dev.counters().modeled_ns(), 0u);
+  EXPECT_EQ(dev.counters().writes, 1u);  // still counted
+}
+
+TEST(Device, InjectedLatencyActuallySpins) {
+  Config cfg;
+  cfg.latency_mode = LatencyMode::kInjected;
+  cfg.write_ns = 30000;  // large enough to measure
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 1;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    dev.write(0, &v, 8);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    EXPECT_GE(ns, 20000);
+  }
+}
+
+TEST(Device, WearTracking) {
+  Config cfg = fast_config();
+  cfg.track_wear = true;
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 10; ++i) dev.write(0, &v, 8);
+  dev.write(4096, &v, 8);
+  EXPECT_EQ(dev.max_wear(), 10u);
+  EXPECT_NEAR(dev.mean_wear(), (10.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(Device, DirtyLinesTrackedAndFlushed) {
+  Config cfg = fast_config();
+  cfg.crash_sim = true;
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 42;
+  dev.write(0, &v, 8);
+  dev.write(128, &v, 8);
+  EXPECT_EQ(dev.dirty_lines(), 2u);
+  dev.flush(0, 8);
+  EXPECT_EQ(dev.dirty_lines(), 1u);
+  dev.flush_all();
+  EXPECT_EQ(dev.dirty_lines(), 0u);
+}
+
+TEST(Device, FlushedDataSurvivesCrash) {
+  Config cfg = fast_config();
+  cfg.crash_sim = true;
+  Device dev(1 << 16, cfg);
+  const std::uint64_t value = 0x1234567890abcdefull;
+  dev.store(256, value);
+  dev.flush(256, 8);
+  dev.persist_barrier();
+  Rng rng(1);
+  dev.simulate_crash(rng, /*survive_p=*/0.0);
+  EXPECT_EQ(dev.load<std::uint64_t>(256), value);
+}
+
+TEST(Device, UnflushedDataLostWhenNothingSurvives) {
+  Config cfg = fast_config();
+  cfg.crash_sim = true;
+  Device dev(1 << 16, cfg);
+  const std::uint64_t value = 0x1111111111111111ull;
+  dev.store(256, value);  // never flushed
+  Rng rng(1);
+  const auto lost = dev.simulate_crash(rng, /*survive_p=*/0.0);
+  EXPECT_EQ(lost, 1u);
+  EXPECT_EQ(dev.load<std::uint64_t>(256), 0u);
+}
+
+TEST(Device, UnflushedDataMaySurviveEviction) {
+  Config cfg = fast_config();
+  cfg.crash_sim = true;
+  Device dev(1 << 16, cfg);
+  const std::uint64_t value = 0x2222222222222222ull;
+  dev.store(256, value);
+  Rng rng(1);
+  dev.simulate_crash(rng, /*survive_p=*/1.0);
+  EXPECT_EQ(dev.load<std::uint64_t>(256), value);
+}
+
+TEST(Device, CrashIsAdversarialPerLine) {
+  // With survive_p = 0.5 over many lines, some survive and some do not.
+  Config cfg = fast_config();
+  cfg.crash_sim = true;
+  Device dev(1 << 20, cfg);
+  const std::uint64_t value = ~0ull;
+  for (int i = 0; i < 200; ++i)
+    dev.store(static_cast<std::uint64_t>(i) * 64, value);
+  Rng rng(33);
+  const auto lost = dev.simulate_crash(rng, 0.5);
+  EXPECT_GT(lost, 50u);
+  EXPECT_LT(lost, 150u);
+}
+
+TEST(Device, CrashRequiresCrashSim) {
+  Device dev(1 << 16, fast_config());
+  Rng rng(1);
+  EXPECT_THROW(dev.simulate_crash(rng), ContractError);
+}
+
+TEST(Device, ResetCountersClears) {
+  Device dev(1 << 16, fast_config());
+  std::uint64_t v = 0;
+  dev.write(0, &v, 8);
+  dev.reset_counters();
+  EXPECT_EQ(dev.counters().writes, 0u);
+  EXPECT_EQ(dev.counters().modeled_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace pmo::nvbm

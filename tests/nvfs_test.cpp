@@ -1,0 +1,155 @@
+// Tests for the file layer over NVBM (snapshot / Etree substrate).
+#include "nvfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace pmo::nvfs {
+namespace {
+
+nvbm::Config dev_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kModeled;
+  return c;
+}
+
+TEST(FileStore, CreateWriteRead) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("snap");
+  const std::string msg = "hello octants";
+  f.pwrite(0, msg.data(), msg.size());
+  EXPECT_EQ(f.size(), msg.size());
+  std::string back(msg.size(), '\0');
+  EXPECT_EQ(f.pread(0, back.data(), back.size()), msg.size());
+  EXPECT_EQ(back, msg);
+}
+
+TEST(FileStore, OpenFindsExistingCreateTruncates) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("a");
+  f.append("xyz", 3);
+  EXPECT_EQ(fs.open("a").size(), 3u);
+  fs.create("a");
+  EXPECT_EQ(fs.open("a").size(), 0u);
+}
+
+TEST(FileStore, OpenMissingThrows) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  EXPECT_THROW(fs.open("nope"), ContractError);
+  EXPECT_FALSE(fs.exists("nope"));
+}
+
+TEST(FileStore, CrossBlockWriteAndRead) {
+  nvbm::Device dev(1 << 22, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("big");
+  std::vector<std::uint8_t> data(100 * 1000);
+  std::iota(data.begin(), data.end(), 0);
+  f.pwrite(0, data.data(), data.size());
+  std::vector<std::uint8_t> back(data.size());
+  EXPECT_EQ(f.pread(0, back.data(), back.size()), data.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(FileStore, PositionalReadWriteInsideFile) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("p");
+  std::vector<char> zeros(10000, 'z');
+  f.pwrite(0, zeros.data(), zeros.size());
+  f.pwrite(5000, "MARK", 4);
+  char probe[4];
+  f.pread(5000, probe, 4);
+  EXPECT_EQ(std::memcmp(probe, "MARK", 4), 0);
+}
+
+TEST(FileStore, ShortReadAtEof) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("s");
+  f.append("abcd", 4);
+  char buf[16];
+  EXPECT_EQ(f.pread(2, buf, 16), 2u);
+  EXPECT_EQ(f.pread(4, buf, 16), 0u);
+}
+
+TEST(FileStore, AppendGrowsFile) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("log");
+  for (int i = 0; i < 100; ++i) f.append("0123456789", 10);
+  EXPECT_EQ(f.size(), 1000u);
+}
+
+TEST(FileStore, UnlinkReleasesBlocks) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("tmp");
+  std::vector<char> data(8192, 'x');
+  f.pwrite(0, data.data(), data.size());
+  const auto used = fs.blocks_in_use();
+  EXPECT_GE(used, 2u);
+  fs.unlink("tmp");
+  EXPECT_EQ(fs.blocks_in_use(), used - 2);
+  EXPECT_FALSE(fs.exists("tmp"));
+}
+
+TEST(FileStore, BlocksReusedAfterUnlink) {
+  nvbm::Device dev(64 << 10, dev_cfg());
+  FileStore fs(dev);
+  // Repeatedly writing and unlinking must not exhaust the device.
+  for (int i = 0; i < 100; ++i) {
+    auto& f = fs.create("cycle");
+    std::vector<char> data(16 << 10, 'c');
+    f.pwrite(0, data.data(), data.size());
+    fs.unlink("cycle");
+  }
+  SUCCEED();
+}
+
+TEST(FileStore, ChargesPerOperationOverhead) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FsConfig cfg;
+  cfg.op_overhead_ns = 2000;
+  FileStore fs(dev, cfg);
+  auto& f = fs.create("ops");
+  f.append("x", 1);
+  f.append("y", 1);
+  char c;
+  f.pread(0, &c, 1);
+  EXPECT_EQ(fs.counters().modeled_overhead_ns, 3u * 2000u);
+  EXPECT_EQ(fs.counters().writes, 2u);
+  EXPECT_EQ(fs.counters().reads, 1u);
+}
+
+TEST(FileStore, IoGoesThroughDeviceLatencyModel) {
+  nvbm::Device dev(1 << 20, dev_cfg());
+  FileStore fs(dev);
+  auto& f = fs.create("lat");
+  std::vector<char> page(4096, 'p');
+  f.pwrite(0, page.data(), page.size());
+  // 4096 bytes = 64 cache lines at 150ns NVBM write latency each.
+  EXPECT_GE(dev.counters().modeled_write_ns, 64u * 150u);
+}
+
+TEST(FileStore, FsyncFlushesDirtyLines) {
+  nvbm::Config c = dev_cfg();
+  c.crash_sim = true;
+  nvbm::Device dev(1 << 20, c);
+  FileStore fs(dev);
+  auto& f = fs.create("durable");
+  f.pwrite(0, "persist me", 10);
+  EXPECT_GT(dev.dirty_lines(), 0u);
+  f.fsync();
+  EXPECT_EQ(dev.dirty_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace pmo::nvfs

@@ -1,0 +1,274 @@
+// Tests for the core in-memory octree: construct, refine/coarsen, balance,
+// neighbors, traversal order, serialization.
+#include "octree/octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pmo::octree {
+namespace {
+
+// Refine leaves randomly to build an irregular tree (property fixture).
+void grow_random(Octree& tree, Rng& rng, int rounds, double p,
+                 int max_level = 6) {
+  for (int r = 0; r < rounds; ++r) {
+    tree.refine_where([&](const Node& n) {
+      return n.code.level() < max_level && rng.chance(p);
+    });
+  }
+}
+
+TEST(Octree, ConstructHasSingleRootLeaf) {
+  Octree tree;
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_TRUE(tree.root()->is_leaf());
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(Octree, RefineCreatesEightChildren) {
+  Octree tree;
+  tree.root()->data.vof = 0.5;
+  tree.refine(tree.root());
+  EXPECT_EQ(tree.node_count(), 9u);
+  EXPECT_EQ(tree.leaf_count(), 8u);
+  for (const auto* c : tree.root()->children) {
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->parent, tree.root());
+    EXPECT_DOUBLE_EQ(c->data.vof, 0.5);  // inherited
+  }
+}
+
+TEST(Octree, RefineWithInitOverridesData) {
+  Octree tree;
+  tree.refine(tree.root(), [](Node& n) { n.data.tracer = 9.0; });
+  tree.for_each_leaf([](Node& n) { EXPECT_DOUBLE_EQ(n.data.tracer, 9.0); });
+}
+
+TEST(Octree, RefineNonLeafRejected) {
+  Octree tree;
+  tree.refine(tree.root());
+  EXPECT_THROW(tree.refine(tree.root()), ContractError);
+}
+
+TEST(Octree, InsertCreatesPathWithFullSiblingGroups) {
+  Octree tree;
+  const auto code = LocCode::from_grid(3, 1, 2, 3);
+  Node* n = tree.insert(code);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->code, code);
+  // Each refinement on the path creates 8 children: 1 + 8 + 8 + 8 nodes.
+  EXPECT_EQ(tree.node_count(), 25u);
+  // Every internal node must have exactly 8 children (0-or-8 invariant).
+  tree.for_each_node([](const Node& node) {
+    int kids = 0;
+    for (const auto* c : node.children) kids += (c != nullptr);
+    EXPECT_TRUE(kids == 0 || kids == 8);
+  });
+}
+
+TEST(Octree, FindExactAndMissing) {
+  Octree tree;
+  const auto code = LocCode::from_grid(2, 1, 1, 1);
+  tree.insert(code);
+  EXPECT_NE(tree.find(code), nullptr);
+  EXPECT_EQ(tree.find(code)->code, code);
+  // A deeper code that was never created:
+  EXPECT_EQ(tree.find(code.child(0).child(0)), nullptr);
+}
+
+TEST(Octree, FindLeafContainingDescendsToLeaf) {
+  Octree tree;
+  tree.insert(LocCode::from_grid(2, 0, 0, 0));
+  const auto deep = LocCode::from_grid(5, 1, 1, 1);  // inside (2;0,0,0)
+  Node* leaf = tree.find_leaf_containing(deep);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_TRUE(leaf->code.contains(deep));
+  EXPECT_TRUE(leaf->is_leaf());
+}
+
+TEST(Octree, CoarsenMergesChildrenAveragingData) {
+  Octree tree;
+  tree.refine(tree.root());
+  double v = 0.0;
+  tree.for_each_leaf([&](Node& n) { n.data.vof = (v += 1.0); });  // 1..8
+  tree.coarsen_where([](const Node&) { return true; });
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.root()->data.vof, 4.5);
+}
+
+TEST(Octree, CoarsenWhereRequiresAllEightToAgree) {
+  Octree tree;
+  tree.refine(tree.root());
+  int i = 0;
+  tree.for_each_leaf([&](Node& n) { n.data.tracer = (i++ < 4) ? 1.0 : 0.0; });
+  const auto merged =
+      tree.coarsen_where([](const Node& n) { return n.data.tracer > 0.5; });
+  EXPECT_EQ(merged, 0u);
+  EXPECT_EQ(tree.leaf_count(), 8u);
+}
+
+TEST(Octree, LeafCountsPartitionDomain) {
+  // Sum of leaf volumes must equal the root volume, for random trees.
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    Octree tree;
+    grow_random(tree, rng, 3, 0.4);
+    double volume = 0.0;
+    tree.for_each_leaf([&](const Node& n) {
+      const double h = n.code.size_unit();
+      volume += h * h * h;
+    });
+    EXPECT_NEAR(volume, 1.0, 1e-9);
+  }
+}
+
+TEST(Octree, MortonOrderTraversal) {
+  Octree tree;
+  tree.insert(LocCode::from_grid(2, 3, 0, 0));
+  tree.insert(LocCode::from_grid(2, 0, 3, 0));
+  auto leaves = tree.leaves_in_morton_order();
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    EXPECT_LT(leaves[i - 1]->code, leaves[i]->code);
+  }
+}
+
+TEST(Octree, NeighborSameLevel) {
+  Octree tree;
+  tree.refine(tree.root());
+  Node* c0 = tree.find(LocCode::root().child(0));
+  Node* c1 = tree.find(LocCode::root().child(1));  // +x of child 0
+  EXPECT_EQ(tree.neighbor(c0, 1, 0, 0), c1);
+  EXPECT_EQ(tree.neighbor(c0, -1, 0, 0), nullptr);  // domain boundary
+}
+
+TEST(Octree, NeighborCoarser) {
+  Octree tree;
+  tree.refine(tree.root());
+  Node* c0 = tree.find(LocCode::root().child(0));
+  tree.refine(c0);
+  Node* fine = tree.find(LocCode::root().child(0).child(1));
+  Node* coarse = tree.neighbor(fine, 1, 0, 0);
+  ASSERT_NE(coarse, nullptr);
+  EXPECT_EQ(coarse->code, LocCode::root().child(1));
+}
+
+TEST(Octree, BalanceEnforcesTwoToOne) {
+  Octree tree;
+  // Chain refinement toward the domain center: the level-3 cells in
+  // child(0).child(7) touch the level-1 leaves of root children 1..7,
+  // a 2-level jump. (A corner-directed chain would stay graded.)
+  tree.refine(tree.root());
+  LocCode code = LocCode::root().child(0);
+  for (int l = 1; l < 4; ++l) {
+    tree.refine(tree.find(code));
+    code = code.child(7);
+  }
+  EXPECT_FALSE(tree.is_balanced());
+  const auto refined = tree.balance();
+  EXPECT_GT(refined, 0u);
+  EXPECT_TRUE(tree.is_balanced());
+}
+
+TEST(Octree, BalanceIsIdempotent) {
+  Rng rng(7);
+  Octree tree;
+  grow_random(tree, rng, 4, 0.35);
+  tree.balance();
+  EXPECT_TRUE(tree.is_balanced());
+  EXPECT_EQ(tree.balance(), 0u);
+}
+
+TEST(Octree, BalancedRandomTreesProperty) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    Octree tree;
+    grow_random(tree, rng, 5, 0.3);
+    tree.balance();
+    EXPECT_TRUE(tree.is_balanced()) << "trial " << trial;
+  }
+}
+
+TEST(Octree, SerializeDeserializeRoundTrips) {
+  Rng rng(404);
+  Octree tree;
+  grow_random(tree, rng, 4, 0.4);
+  double stamp = 0.0;
+  tree.for_each_node([&](Node& n) { n.data.tracer = (stamp += 1.0); });
+  const auto blob = tree.serialize();
+  Octree back = Octree::deserialize(blob.data(), blob.size());
+  EXPECT_TRUE(tree_equal(tree, back));
+}
+
+TEST(Octree, DeserializeRejectsTruncated) {
+  Octree tree;
+  tree.refine(tree.root());
+  const auto blob = tree.serialize();
+  EXPECT_THROW(Octree::deserialize(blob.data(), blob.size() / 2),
+               ContractError);
+  EXPECT_THROW(Octree::deserialize(blob.data(), 4), ContractError);
+}
+
+TEST(Octree, TreeEqualDetectsDataDifference) {
+  Octree a, b;
+  a.refine(a.root());
+  b.refine(b.root());
+  EXPECT_TRUE(tree_equal(a, b));
+  a.find(LocCode::root().child(3))->data.vof = 0.25;
+  EXPECT_FALSE(tree_equal(a, b));
+}
+
+TEST(Octree, StatsReportDepthAndCounts) {
+  Octree tree;
+  tree.insert(LocCode::from_grid(3, 0, 0, 0));
+  const auto s = tree.stats();
+  EXPECT_EQ(s.depth, 3);
+  EXPECT_EQ(s.nodes, tree.node_count());
+  EXPECT_EQ(s.leaves, tree.leaf_count());
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(Octree, MoveTransfersOwnership) {
+  Octree a;
+  a.refine(a.root());
+  Octree b = std::move(a);
+  EXPECT_EQ(b.node_count(), 9u);
+}
+
+TEST(Octree, RefineWhereRespectsMaxLevel) {
+  Octree tree;
+  // Pretend everything is always refinable; depth must cap at kMaxLevel.
+  // (Only run a couple of rounds at tiny scale.)
+  Node* n = tree.insert(LocCode::from_grid(3, 1, 1, 1));
+  (void)n;
+  const auto count = tree.refine_where([](const Node& node) {
+    return node.code.level() >= kMaxLevel;  // nothing qualifies
+  });
+  EXPECT_EQ(count, 0u);
+}
+
+// Parameterized sweep: uniform refinement to level L yields 8^L leaves.
+class UniformRefineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformRefineTest, LeafCountIsPowerOfEight) {
+  const int levels = GetParam();
+  Octree tree;
+  for (int l = 0; l < levels; ++l) {
+    tree.refine_where([](const Node&) { return true; });
+  }
+  std::size_t expect = 1;
+  for (int l = 0; l < levels; ++l) expect *= 8;
+  EXPECT_EQ(tree.leaf_count(), expect);
+  EXPECT_EQ(tree.depth(), levels);
+  EXPECT_TRUE(tree.is_balanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, UniformRefineTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace pmo::octree

@@ -1,0 +1,207 @@
+// Randomized crash-injection property tests.
+//
+// The paper's central durability claim (§1, §3): PM-octree needs no
+// ordering fences on octant writes because at least one version of the
+// octree is consistent at all times; only the 8-byte root swap is
+// ordering-critical, and that one is flushed. These tests crash the
+// emulated NVBM at adversarial points — dropping a random subset of
+// unflushed cache lines — and verify that restore always yields exactly
+// the last successfully persisted state.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "pmoctree/pm_octree.hpp"
+
+namespace pmo::pmoctree {
+namespace {
+
+nvbm::Config crash_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kNone;
+  c.crash_sim = true;
+  return c;
+}
+
+CellData cell(double vof) {
+  CellData d;
+  d.vof = vof;
+  return d;
+}
+
+using LeafMap = std::map<std::uint64_t, double>;
+
+LeafMap leaves_of(PmOctree& tree) {
+  LeafMap out;
+  tree.for_each_leaf([&](const LocCode& c, const CellData& d) {
+    out[c.key() | (static_cast<std::uint64_t>(c.level()) << 60)] = d.vof;
+  });
+  return out;
+}
+
+/// Applies `steps` random mutations to the tree.
+void mutate_randomly(PmOctree& tree, Rng& rng, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    std::vector<LocCode> leaves;
+    tree.for_each_leaf(
+        [&](const LocCode& c, const CellData&) { leaves.push_back(c); });
+    const auto& victim =
+        leaves[static_cast<std::size_t>(rng.below(leaves.size()))];
+    const auto action = rng.below(3);
+    if (action == 0 && victim.level() < 6) {
+      tree.refine(victim);
+    } else if (action == 1 && victim.level() > 0) {
+      // Coarsen the victim's parent when all its children are leaves.
+      bool all_leaves = true;
+      for (int i = 0; i < kChildrenPerNode && all_leaves; ++i) {
+        const auto sib = victim.parent().child(i);
+        all_leaves = tree.contains(sib) &&
+                     tree.leaf_containing(sib.child(0)) == sib;
+      }
+      if (all_leaves) tree.coarsen(victim.parent());
+    } else {
+      tree.update(victim, cell(rng.uniform()));
+    }
+  }
+}
+
+class CrashInjection : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashInjection, RestoreAlwaysYieldsLastPersistedVersion) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+
+  nvbm::Device dev(64 << 20, crash_cfg());
+  nvbm::Heap heap(dev);
+  PmConfig pm;
+  pm.dram_budget_bytes = 16 * sizeof(PNode);  // force heavy NVBM traffic
+  pm.gc_on_persist = true;
+
+  LeafMap persisted;
+  {
+    auto tree = PmOctree::create(heap, pm);
+    tree.refine(LocCode::root());
+    mutate_randomly(tree, rng, 20);
+    tree.persist();
+    persisted = leaves_of(tree);
+
+    // Now mutate again — and crash mid-flight, with every unflushed cache
+    // line surviving or dying independently at random.
+    mutate_randomly(tree, rng, 15);
+  }
+  const auto survive_p = rng.uniform();
+  dev.simulate_crash(rng, survive_p);
+
+  // Reboot: re-attach the heap and restore.
+  nvbm::Heap heap2(dev);
+  ASSERT_TRUE(PmOctree::can_restore(heap2));
+  auto back = PmOctree::restore(heap2, pm);
+  EXPECT_EQ(leaves_of(back), persisted)
+      << "seed " << seed << " survive_p " << survive_p;
+}
+
+TEST_P(CrashInjection, CrashDuringMergeKeepsOldVersion) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+
+  nvbm::Device dev(64 << 20, crash_cfg());
+  nvbm::Heap heap(dev);
+  PmConfig pm;
+  pm.gc_on_persist = false;
+
+  LeafMap persisted;
+  {
+    auto tree = PmOctree::create(heap, pm);
+    tree.refine(LocCode::root());
+    mutate_randomly(tree, rng, 10);
+    tree.persist();
+    persisted = leaves_of(tree);
+    mutate_randomly(tree, rng, 10);
+    // Simulate a crash *inside* the next persist: the merge writes NVBM
+    // nodes but we "die" before the root swap. Emulate by doing the
+    // mutations' writes and crashing now — from the device's perspective
+    // that is indistinguishable from dying mid-merge, since the root swap
+    // is the only fence-protected write.
+  }
+  dev.simulate_crash(rng, rng.uniform());
+
+  nvbm::Heap heap2(dev);
+  auto back = PmOctree::restore(heap2, pm);
+  EXPECT_EQ(leaves_of(back), persisted);
+}
+
+TEST_P(CrashInjection, RecoveryGcReclaimsOrphans) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 31);
+
+  nvbm::Device dev(64 << 20, crash_cfg());
+  nvbm::Heap heap(dev);
+  PmConfig pm;
+  pm.dram_budget_bytes = 0;  // all octants on NVBM
+
+  {
+    auto tree = PmOctree::create(heap, pm);
+    tree.refine(LocCode::root());
+    tree.persist();
+    mutate_randomly(tree, rng, 12);  // creates orphan NVBM objects
+  }
+  dev.simulate_crash(rng, 1.0);  // even if all lines survive...
+
+  nvbm::Heap heap2(dev);
+  auto back = PmOctree::restore(heap2, pm);
+  const auto reachable = back.node_count();
+  back.gc();  // ...recovery GC reclaims all non-reachable octants
+  EXPECT_EQ(heap2.stats().live_objects, reachable);
+  // And the tree still reads consistently afterwards.
+  EXPECT_EQ(back.node_count(), reachable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashInjection, ::testing::Range(0, 12));
+
+TEST(CrashInjection, MultiStepCrashRecoverCrashAgain) {
+  Rng rng(555);
+  nvbm::Device dev(64 << 20, crash_cfg());
+  PmConfig pm;
+  pm.dram_budget_bytes = 32 * sizeof(PNode);
+
+  LeafMap persisted;
+  {
+    nvbm::Heap heap(dev);
+    auto tree = PmOctree::create(heap, pm);
+    tree.refine(LocCode::root());
+    tree.persist();
+    persisted = leaves_of(tree);
+    mutate_randomly(tree, rng, 8);
+    dev.simulate_crash(rng, 0.3);
+  }
+  for (int round = 0; round < 4; ++round) {
+    nvbm::Heap heap(dev);
+    auto tree = PmOctree::restore(heap, pm);
+    EXPECT_EQ(leaves_of(tree), persisted) << "round " << round;
+    mutate_randomly(tree, rng, 8);
+    if (round % 2 == 0) {
+      tree.persist();
+      persisted = leaves_of(tree);
+      mutate_randomly(tree, rng, 4);
+    }
+    dev.simulate_crash(rng, rng.uniform());
+  }
+}
+
+TEST(CrashInjection, NothingPersistedMeansNothingRestorable) {
+  Rng rng(9);
+  nvbm::Device dev(16 << 20, crash_cfg());
+  {
+    nvbm::Heap heap(dev);
+    auto tree = PmOctree::create(heap, PmConfig{});
+    tree.refine(LocCode::root());
+    // no persist()
+  }
+  dev.simulate_crash(rng, 0.5);
+  nvbm::Heap heap(dev);
+  EXPECT_FALSE(PmOctree::can_restore(heap));
+}
+
+}  // namespace
+}  // namespace pmo::pmoctree

@@ -1,0 +1,171 @@
+// Remote replica (V^P) delta shipping and new-node recovery (§3.4/§5.6).
+#include "pmoctree/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pmo::pmoctree {
+namespace {
+
+nvbm::Config dev_cfg() {
+  nvbm::Config c;
+  c.latency_mode = nvbm::LatencyMode::kModeled;
+  return c;
+}
+
+CellData cell(double vof) {
+  CellData d;
+  d.vof = vof;
+  return d;
+}
+
+using LeafMap = std::map<std::uint64_t, double>;
+LeafMap leaves_of(PmOctree& tree) {
+  LeafMap out;
+  tree.for_each_leaf([&](const LocCode& c, const CellData& d) {
+    out[c.key() | (static_cast<std::uint64_t>(c.level()) << 60)] = d.vof;
+  });
+  return out;
+}
+
+TEST(Replica, FirstShipSendsWholeVersion) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = PmOctree::create(heap, PmConfig{});
+  tree.refine(LocCode::root());
+  tree.persist();
+
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  const auto bytes = mgr.ship(tree, peer);
+  EXPECT_EQ(peer.node_count(), 9u);
+  EXPECT_GE(bytes, 9 * sizeof(PNode));
+}
+
+TEST(Replica, SecondShipSendsOnlyDelta) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = PmOctree::create(heap, PmConfig{});
+  tree.refine(LocCode::root());
+  tree.persist();
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  mgr.ship(tree, peer);
+
+  tree.update(LocCode::root().child(2), cell(0.5));
+  tree.persist();
+  const auto delta = mgr.extract(tree);
+  // CoW changed exactly child 2 and the root: 2 upserts, 2 removals.
+  EXPECT_EQ(delta.upserts.size(), 2u);
+  EXPECT_EQ(delta.removals.size(), 2u);
+  peer.apply(delta);
+  EXPECT_EQ(peer.node_count(), 9u);
+}
+
+TEST(Replica, HighOverlapMeansSmallDelta) {
+  // The paper's argument for cheap replication: adjacent steps overlap
+  // 39-99%, so deltas are a small fraction of the full tree.
+  nvbm::Device dev(128 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = PmOctree::create(heap, PmConfig{});
+  for (int l = 0; l < 3; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  tree.persist();
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  const auto full = mgr.ship(tree, peer);
+
+  tree.update(LocCode::root().child(0).child(0).child(0), cell(0.9));
+  tree.persist();
+  const auto delta = mgr.ship(tree, peer);
+  EXPECT_LT(delta, full / 10);
+}
+
+TEST(Replica, RestoreIntoFreshHeapReproducesTree) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = PmOctree::create(heap, PmConfig{});
+  tree.refine(LocCode::root());
+  tree.update(LocCode::root().child(5), cell(0.55));
+  tree.refine(LocCode::root().child(1));
+  tree.persist();
+  const auto expect = leaves_of(tree);
+
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  mgr.ship(tree, peer);
+
+  // "New compute node": fresh device + heap, rebuilt from the replica.
+  nvbm::Device dev2(64 << 20, dev_cfg());
+  nvbm::Heap heap2(dev2);
+  const auto moved = peer.restore_into(heap2);
+  EXPECT_EQ(moved, peer.node_count());
+  ASSERT_TRUE(PmOctree::can_restore(heap2));
+  auto back = PmOctree::restore(heap2, PmConfig{});
+  EXPECT_EQ(leaves_of(back), expect);
+}
+
+TEST(Replica, TracksRemovalsAcrossCoarsening) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  PmConfig pm;
+  auto tree = PmOctree::create(heap, pm);
+  tree.refine(LocCode::root());
+  tree.refine(LocCode::root().child(0));
+  tree.persist();
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  mgr.ship(tree, peer);
+  const auto before = peer.node_count();
+
+  tree.coarsen(LocCode::root().child(0));  // drop 8 octants
+  tree.persist();
+  mgr.ship(tree, peer);
+  EXPECT_EQ(peer.node_count(), before - 8);
+
+  nvbm::Device dev2(64 << 20, dev_cfg());
+  nvbm::Heap heap2(dev2);
+  peer.restore_into(heap2);
+  auto back = PmOctree::restore(heap2, pm);
+  EXPECT_EQ(leaves_of(back), leaves_of(tree));
+}
+
+TEST(Replica, ShipWithoutPersistRejected) {
+  nvbm::Device dev(64 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = PmOctree::create(heap, PmConfig{});
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  EXPECT_THROW(mgr.extract(tree), ContractError);
+  EXPECT_THROW(peer.restore_into(heap), ContractError);
+}
+
+TEST(Replica, RepeatedShipsConverge) {
+  nvbm::Device dev(128 << 20, dev_cfg());
+  nvbm::Heap heap(dev);
+  auto tree = PmOctree::create(heap, PmConfig{});
+  tree.refine(LocCode::root());
+  ReplicaManager mgr;
+  ReplicaStore peer;
+  Rng rng(99);
+  for (int step = 0; step < 6; ++step) {
+    // random small mutation
+    std::vector<LocCode> leaves;
+    tree.for_each_leaf(
+        [&](const LocCode& c, const CellData&) { leaves.push_back(c); });
+    const auto& victim =
+        leaves[static_cast<std::size_t>(rng.below(leaves.size()))];
+    if (victim.level() < 4 && rng.chance(0.5)) {
+      tree.refine(victim);
+    } else {
+      tree.update(victim, cell(rng.uniform()));
+    }
+    tree.persist();
+    mgr.ship(tree, peer);
+    EXPECT_EQ(peer.node_count(), tree.node_count()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace pmo::pmoctree
