@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_overlap.dir/fig03_overlap.cpp.o"
+  "CMakeFiles/fig03_overlap.dir/fig03_overlap.cpp.o.d"
+  "fig03_overlap"
+  "fig03_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

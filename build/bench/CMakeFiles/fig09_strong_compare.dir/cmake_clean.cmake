@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_strong_compare.dir/fig09_strong_compare.cpp.o"
+  "CMakeFiles/fig09_strong_compare.dir/fig09_strong_compare.cpp.o.d"
+  "fig09_strong_compare"
+  "fig09_strong_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_strong_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dram_size.dir/fig10_dram_size.cpp.o"
+  "CMakeFiles/fig10_dram_size.dir/fig10_dram_size.cpp.o.d"
+  "fig10_dram_size"
+  "fig10_dram_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dram_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

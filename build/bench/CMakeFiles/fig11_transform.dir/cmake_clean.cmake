@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_transform.dir/fig11_transform.cpp.o"
+  "CMakeFiles/fig11_transform.dir/fig11_transform.cpp.o.d"
+  "fig11_transform"
+  "fig11_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_recovery.dir/sec56_recovery.cpp.o"
+  "CMakeFiles/sec56_recovery.dir/sec56_recovery.cpp.o.d"
+  "sec56_recovery"
+  "sec56_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

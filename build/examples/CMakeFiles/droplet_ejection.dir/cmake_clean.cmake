@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplet_ejection.dir/droplet_ejection.cpp.o"
+  "CMakeFiles/droplet_ejection.dir/droplet_ejection.cpp.o.d"
+  "droplet_ejection"
+  "droplet_ejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplet_ejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for droplet_ejection.
+# This may be replaced when dependencies are built.

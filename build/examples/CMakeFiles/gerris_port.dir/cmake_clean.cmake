@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerris_port.dir/gerris_port.cpp.o"
+  "CMakeFiles/gerris_port.dir/gerris_port.cpp.o.d"
+  "gerris_port"
+  "gerris_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerris_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_amr.dir/droplet.cpp.o"
+  "CMakeFiles/pmo_amr.dir/droplet.cpp.o.d"
+  "CMakeFiles/pmo_amr.dir/extract.cpp.o"
+  "CMakeFiles/pmo_amr.dir/extract.cpp.o.d"
+  "CMakeFiles/pmo_amr.dir/pm_backend.cpp.o"
+  "CMakeFiles/pmo_amr.dir/pm_backend.cpp.o.d"
+  "libpmo_amr.a"
+  "libpmo_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pmo_amr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bptree.cpp" "src/baseline/CMakeFiles/pmo_baseline.dir/bptree.cpp.o" "gcc" "src/baseline/CMakeFiles/pmo_baseline.dir/bptree.cpp.o.d"
+  "/root/repo/src/baseline/etree_backend.cpp" "src/baseline/CMakeFiles/pmo_baseline.dir/etree_backend.cpp.o" "gcc" "src/baseline/CMakeFiles/pmo_baseline.dir/etree_backend.cpp.o.d"
+  "/root/repo/src/baseline/incore_backend.cpp" "src/baseline/CMakeFiles/pmo_baseline.dir/incore_backend.cpp.o" "gcc" "src/baseline/CMakeFiles/pmo_baseline.dir/incore_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvfs/CMakeFiles/pmo_nvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmoctree/CMakeFiles/pmo_pmoctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/pmo_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvbm/CMakeFiles/pmo_nvbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/pmo_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

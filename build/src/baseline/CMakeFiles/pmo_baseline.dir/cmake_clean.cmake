@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_baseline.dir/bptree.cpp.o"
+  "CMakeFiles/pmo_baseline.dir/bptree.cpp.o.d"
+  "CMakeFiles/pmo_baseline.dir/etree_backend.cpp.o"
+  "CMakeFiles/pmo_baseline.dir/etree_backend.cpp.o.d"
+  "CMakeFiles/pmo_baseline.dir/incore_backend.cpp.o"
+  "CMakeFiles/pmo_baseline.dir/incore_backend.cpp.o.d"
+  "libpmo_baseline.a"
+  "libpmo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

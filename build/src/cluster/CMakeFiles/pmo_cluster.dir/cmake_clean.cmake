@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_cluster.dir/cluster_sim.cpp.o"
+  "CMakeFiles/pmo_cluster.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/pmo_cluster.dir/partition.cpp.o"
+  "CMakeFiles/pmo_cluster.dir/partition.cpp.o.d"
+  "libpmo_cluster.a"
+  "libpmo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_common.dir/morton.cpp.o"
+  "CMakeFiles/pmo_common.dir/morton.cpp.o.d"
+  "CMakeFiles/pmo_common.dir/stats.cpp.o"
+  "CMakeFiles/pmo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pmo_common.dir/timing.cpp.o"
+  "CMakeFiles/pmo_common.dir/timing.cpp.o.d"
+  "libpmo_common.a"
+  "libpmo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

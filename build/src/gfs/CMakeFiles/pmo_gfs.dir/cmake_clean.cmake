@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_gfs.dir/gfs.cpp.o"
+  "CMakeFiles/pmo_gfs.dir/gfs.cpp.o.d"
+  "libpmo_gfs.a"
+  "libpmo_gfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_gfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_nvbm.dir/device.cpp.o"
+  "CMakeFiles/pmo_nvbm.dir/device.cpp.o.d"
+  "CMakeFiles/pmo_nvbm.dir/heap.cpp.o"
+  "CMakeFiles/pmo_nvbm.dir/heap.cpp.o.d"
+  "libpmo_nvbm.a"
+  "libpmo_nvbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_nvbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

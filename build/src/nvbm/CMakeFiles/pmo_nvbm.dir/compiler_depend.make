@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmo_nvbm.
+# This may be replaced when dependencies are built.

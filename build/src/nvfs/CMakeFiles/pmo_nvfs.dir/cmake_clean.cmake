@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_nvfs.dir/file_store.cpp.o"
+  "CMakeFiles/pmo_nvfs.dir/file_store.cpp.o.d"
+  "libpmo_nvfs.a"
+  "libpmo_nvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_nvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

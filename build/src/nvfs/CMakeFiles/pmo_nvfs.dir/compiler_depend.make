@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmo_nvfs.
+# This may be replaced when dependencies are built.

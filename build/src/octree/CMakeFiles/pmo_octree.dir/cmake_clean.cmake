@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_octree.dir/octree.cpp.o"
+  "CMakeFiles/pmo_octree.dir/octree.cpp.o.d"
+  "libpmo_octree.a"
+  "libpmo_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmo_octree.a"
+)

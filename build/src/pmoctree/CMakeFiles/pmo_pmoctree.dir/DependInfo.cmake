@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmoctree/api.cpp" "src/pmoctree/CMakeFiles/pmo_pmoctree.dir/api.cpp.o" "gcc" "src/pmoctree/CMakeFiles/pmo_pmoctree.dir/api.cpp.o.d"
+  "/root/repo/src/pmoctree/pm_octree.cpp" "src/pmoctree/CMakeFiles/pmo_pmoctree.dir/pm_octree.cpp.o" "gcc" "src/pmoctree/CMakeFiles/pmo_pmoctree.dir/pm_octree.cpp.o.d"
+  "/root/repo/src/pmoctree/replica.cpp" "src/pmoctree/CMakeFiles/pmo_pmoctree.dir/replica.cpp.o" "gcc" "src/pmoctree/CMakeFiles/pmo_pmoctree.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvbm/CMakeFiles/pmo_nvbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/pmo_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_pmoctree.dir/api.cpp.o"
+  "CMakeFiles/pmo_pmoctree.dir/api.cpp.o.d"
+  "CMakeFiles/pmo_pmoctree.dir/pm_octree.cpp.o"
+  "CMakeFiles/pmo_pmoctree.dir/pm_octree.cpp.o.d"
+  "CMakeFiles/pmo_pmoctree.dir/replica.cpp.o"
+  "CMakeFiles/pmo_pmoctree.dir/replica.cpp.o.d"
+  "libpmo_pmoctree.a"
+  "libpmo_pmoctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_pmoctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmo_pmoctree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_budget.dir/auto_budget_test.cpp.o"
+  "CMakeFiles/test_auto_budget.dir/auto_budget_test.cpp.o.d"
+  "test_auto_budget"
+  "test_auto_budget.pdb"
+  "test_auto_budget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

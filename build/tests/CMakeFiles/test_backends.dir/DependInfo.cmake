@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backends_test.cpp" "tests/CMakeFiles/test_backends.dir/backends_test.cpp.o" "gcc" "tests/CMakeFiles/test_backends.dir/backends_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvbm/CMakeFiles/pmo_nvbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvfs/CMakeFiles/pmo_nvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/pmo_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmoctree/CMakeFiles/pmo_pmoctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pmo_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/pmo_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pmo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfs/CMakeFiles/pmo_gfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bptree.dir/bptree_test.cpp.o"
+  "CMakeFiles/test_bptree.dir/bptree_test.cpp.o.d"
+  "test_bptree"
+  "test_bptree.pdb"
+  "test_bptree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_droplet.dir/droplet_test.cpp.o"
+  "CMakeFiles/test_droplet.dir/droplet_test.cpp.o.d"
+  "test_droplet"
+  "test_droplet.pdb"
+  "test_droplet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_droplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfs.dir/gfs_test.cpp.o"
+  "CMakeFiles/test_gfs.dir/gfs_test.cpp.o.d"
+  "test_gfs"
+  "test_gfs.pdb"
+  "test_gfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

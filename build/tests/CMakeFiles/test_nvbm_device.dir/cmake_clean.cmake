@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvbm_device.dir/nvbm_device_test.cpp.o"
+  "CMakeFiles/test_nvbm_device.dir/nvbm_device_test.cpp.o.d"
+  "test_nvbm_device"
+  "test_nvbm_device.pdb"
+  "test_nvbm_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvbm_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvbm_heap.dir/nvbm_heap_test.cpp.o"
+  "CMakeFiles/test_nvbm_heap.dir/nvbm_heap_test.cpp.o.d"
+  "test_nvbm_heap"
+  "test_nvbm_heap.pdb"
+  "test_nvbm_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvbm_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

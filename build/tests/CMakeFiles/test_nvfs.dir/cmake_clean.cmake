@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvfs.dir/nvfs_test.cpp.o"
+  "CMakeFiles/test_nvfs.dir/nvfs_test.cpp.o.d"
+  "test_nvfs"
+  "test_nvfs.pdb"
+  "test_nvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

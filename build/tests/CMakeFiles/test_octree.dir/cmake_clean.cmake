@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_octree.dir/octree_test.cpp.o"
+  "CMakeFiles/test_octree.dir/octree_test.cpp.o.d"
+  "test_octree"
+  "test_octree.pdb"
+  "test_octree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmoctree.dir/pmoctree_test.cpp.o"
+  "CMakeFiles/test_pmoctree.dir/pmoctree_test.cpp.o.d"
+  "test_pmoctree"
+  "test_pmoctree.pdb"
+  "test_pmoctree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmoctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmoctree_crash.dir/pmoctree_crash_test.cpp.o"
+  "CMakeFiles/test_pmoctree_crash.dir/pmoctree_crash_test.cpp.o.d"
+  "test_pmoctree_crash"
+  "test_pmoctree_crash.pdb"
+  "test_pmoctree_crash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmoctree_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmoctree_persist.dir/pmoctree_persist_test.cpp.o"
+  "CMakeFiles/test_pmoctree_persist.dir/pmoctree_persist_test.cpp.o.d"
+  "test_pmoctree_persist"
+  "test_pmoctree_persist.pdb"
+  "test_pmoctree_persist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmoctree_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

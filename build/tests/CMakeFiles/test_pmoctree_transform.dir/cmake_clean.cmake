@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmoctree_transform.dir/pmoctree_transform_test.cpp.o"
+  "CMakeFiles/test_pmoctree_transform.dir/pmoctree_transform_test.cpp.o.d"
+  "test_pmoctree_transform"
+  "test_pmoctree_transform.pdb"
+  "test_pmoctree_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmoctree_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

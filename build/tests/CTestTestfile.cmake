@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_nvbm_device[1]_include.cmake")
+include("/root/repo/build/tests/test_nvbm_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_nvfs[1]_include.cmake")
+include("/root/repo/build/tests/test_octree[1]_include.cmake")
+include("/root/repo/build/tests/test_pmoctree[1]_include.cmake")
+include("/root/repo/build/tests/test_pmoctree_persist[1]_include.cmake")
+include("/root/repo/build/tests/test_pmoctree_crash[1]_include.cmake")
+include("/root/repo/build/tests/test_pmoctree_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_replica[1]_include.cmake")
+include("/root/repo/build/tests/test_bptree[1]_include.cmake")
+include("/root/repo/build/tests/test_backends[1]_include.cmake")
+include("/root/repo/build/tests/test_droplet[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_gfs[1]_include.cmake")
+include("/root/repo/build/tests/test_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_auto_budget[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
