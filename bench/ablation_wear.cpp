@@ -6,7 +6,7 @@
 // transformation, plus an estimate of device lifetime at Table 2's
 // endurance bounds. The transformation moves write-hot subtrees to DRAM,
 // so the hottest NVBM lines should wear more slowly.
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
@@ -22,8 +22,10 @@ struct WearResult {
 
 }  // namespace
 
-int main() {
-  print_table2_header("Ablation: NVBM wear / endurance");
+int main(int argc, char** argv) {
+  BenchReport report("ablation_wear", "Ablation: NVBM wear / endurance",
+                     argc, argv);
+  report.print_header();
   const int steps = static_cast<int>(10 * bench_scale());
 
   auto run_direct = [&](bool transform) {
@@ -49,7 +51,7 @@ int main() {
                       static_cast<double>(steps)};
   };
 
-  TablePrinter table({"config", "max line wear", "mean line wear",
+  report.begin_table({"config", "max line wear", "mean line wear",
                       "NVBM writes", "lifetime @1e6 writes/line",
                       "lifetime @1e8"});
   for (const bool transform : {false, true}) {
@@ -58,13 +60,13 @@ int main() {
     // expressed in multiples of this run.
     const double runs_1e6 = 1e6 / std::max<double>(1.0, r.max_wear);
     const double runs_1e8 = 1e8 / std::max<double>(1.0, r.max_wear);
-    table.row({transform ? "with transformation" : "without",
+    report.row({transform ? "with transformation" : "without",
                std::to_string(r.max_wear), TablePrinter::num(r.mean_wear, 1),
                std::to_string(r.writes),
                TablePrinter::num(runs_1e6 * r.steps, 0) + " steps",
                TablePrinter::num(runs_1e8 * r.steps, 0) + " steps"});
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nfinding: max line wear is dominated by allocator metadata "
               "(the heap's high-water line is written on every NVBM "
               "allocation), not by octant payloads — so the layout "
@@ -72,5 +74,6 @@ int main() {
               "deployment would need metadata wear-leveling first. Octant "
               "wear (mean) is comparable across configs. Endurance bounds "
               "from Table 2 (1e6-1e8 writes/bit).\n");
+  report.write();
   return 0;
 }

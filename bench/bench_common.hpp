@@ -18,6 +18,7 @@
 #include "baseline/incore_backend.hpp"
 #include "cluster/cluster_sim.hpp"
 #include "common/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pmo::bench {
 
@@ -45,20 +46,86 @@ inline void print_table2_header(const char* title) {
               static_cast<unsigned long>(c.write_ns), c.cache_line);
 }
 
+enum class Backend { kPm, kInCore, kEtree };
+
+inline const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kPm: return "PM-octree";
+    case Backend::kInCore: return "in-core-octree";
+    case Backend::kEtree: return "out-of-core-octree";
+  }
+  return "?";
+}
+
 /// A backend bundle owning its devices (order matters for destruction).
+/// `source` keeps the device registered as a pull-mode telemetry source:
+/// every registry snapshot republishes its access/wear counters under
+/// "nvbm.*" (the handle unregisters the device on bundle destruction).
 struct Bundle {
   std::unique_ptr<nvbm::Device> device;
   std::unique_ptr<amr::MeshBackend> mesh;
   amr::PmOctreeBackend* pm = nullptr;  // set when the mesh is PM-octree
+  telemetry::Registry::Source source;
 };
 
-inline Bundle make_pm(std::size_t nvbm_capacity, pmoctree::PmConfig pm) {
+/// Per-backend knobs for make_bundle. Only the field matching the chosen
+/// backend is consulted.
+struct BundleOpts {
+  pmoctree::PmConfig pm;        ///< Backend::kPm
+  int snapshot_interval = 10;   ///< Backend::kInCore
+  int cache_pages = 16;         ///< Backend::kEtree: small buffer pool —
+                                ///< oversizing would hide the page I/O the
+                                ///< paper measures
+};
+
+/// The one place benches create device+backend pairs: allocates the
+/// emulated NVBM device (Table 2 config), attaches the requested mesh
+/// backend, and registers the device with the global telemetry registry.
+inline Bundle make_bundle(Backend kind, std::size_t capacity,
+                          const BundleOpts& opts = {}) {
   Bundle b;
-  b.device = std::make_unique<nvbm::Device>(nvbm_capacity, device_config());
-  auto mesh = std::make_unique<amr::PmOctreeBackend>(*b.device, pm);
-  b.pm = mesh.get();
-  b.mesh = std::move(mesh);
+  b.device = std::make_unique<nvbm::Device>(capacity, device_config());
+  switch (kind) {
+    case Backend::kPm: {
+      auto mesh = std::make_unique<amr::PmOctreeBackend>(*b.device, opts.pm);
+      b.pm = mesh.get();
+      b.mesh = std::move(mesh);
+      break;
+    }
+    case Backend::kInCore: {
+      baseline::InCoreConfig cfg;
+      cfg.snapshot_interval = opts.snapshot_interval;
+      b.mesh = std::make_unique<baseline::InCoreBackend>(*b.device, cfg);
+      break;
+    }
+    case Backend::kEtree: {
+      baseline::EtreeConfig cfg;
+      cfg.cache_pages = opts.cache_pages;
+      b.mesh = std::make_unique<baseline::EtreeBackend>(*b.device, cfg);
+      break;
+    }
+  }
+  nvbm::Device* dev = b.device.get();
+  b.source = telemetry::Registry::global().register_source(
+      [dev](telemetry::Registry& reg) { dev->publish(reg, "nvbm"); });
   return b;
+}
+
+inline Bundle make_pm(std::size_t nvbm_capacity, pmoctree::PmConfig pm) {
+  BundleOpts opts;
+  opts.pm = pm;
+  return make_bundle(Backend::kPm, nvbm_capacity, opts);
+}
+
+inline Bundle make_incore(std::size_t snapshot_capacity,
+                          int snapshot_interval = 10) {
+  BundleOpts opts;
+  opts.snapshot_interval = snapshot_interval;
+  return make_bundle(Backend::kInCore, snapshot_capacity, opts);
+}
+
+inline Bundle make_etree(std::size_t capacity) {
+  return make_bundle(Backend::kEtree, capacity);
 }
 
 /// Registers the droplet workload's hot-spot predicate as the PM-octree
@@ -69,28 +136,6 @@ inline void register_droplet_feature(Bundle& b, amr::DropletWorkload& wl) {
   b.pm->register_feature([&wl](const LocCode& code, const CellData& d) {
     return wl.hot_feature(code, d);
   });
-}
-
-inline Bundle make_incore(std::size_t snapshot_capacity,
-                          int snapshot_interval = 10) {
-  Bundle b;
-  b.device =
-      std::make_unique<nvbm::Device>(snapshot_capacity, device_config());
-  baseline::InCoreConfig cfg;
-  cfg.snapshot_interval = snapshot_interval;
-  b.mesh = std::make_unique<baseline::InCoreBackend>(*b.device, cfg);
-  return b;
-}
-
-inline Bundle make_etree(std::size_t capacity) {
-  Bundle b;
-  b.device = std::make_unique<nvbm::Device>(capacity, device_config());
-  baseline::EtreeConfig cfg;
-  // A realistic buffer pool is a small fraction of the octant database;
-  // an oversized pool would hide the page I/O the paper measures.
-  cfg.cache_pages = 16;
-  b.mesh = std::make_unique<baseline::EtreeBackend>(*b.device, cfg);
-  return b;
 }
 
 /// Formats a count like the paper's element labels (1.2M, 1077M, ...).
@@ -121,17 +166,6 @@ inline std::size_t budget_for(double c0_octants_per_node,
                                static_cast<std::size_t>(bytes));
 }
 
-enum class Backend { kPm, kInCore, kEtree };
-
-inline const char* backend_name(Backend b) {
-  switch (b) {
-    case Backend::kPm: return "PM-octree";
-    case Backend::kInCore: return "in-core-octree";
-    case Backend::kEtree: return "out-of-core-octree";
-  }
-  return "?";
-}
-
 struct PointOpts {
   double c0_octants_per_node = 1.5e5;
   bool enable_transform = true;
@@ -154,24 +188,14 @@ inline PointResult run_point(Backend kind, int procs, double target_global,
       target_global / static_cast<double>(std::max<std::size_t>(
                           1, real_leaves));
   PointResult out;
-  Bundle bundle;
-  switch (kind) {
-    case Backend::kPm: {
-      pmoctree::PmConfig pm;
-      pm.dram_budget_bytes = budget_for(
-          opts.c0_octants_per_node, target_global / procs, real_leaves);
-      pm.enable_transform = opts.enable_transform;
-      out.dram_budget_bytes = pm.dram_budget_bytes;
-      bundle = make_pm(std::size_t{256} << 20, pm);
-      break;
-    }
-    case Backend::kInCore:
-      bundle = make_incore(std::size_t{256} << 20);
-      break;
-    case Backend::kEtree:
-      bundle = make_etree(std::size_t{256} << 20);
-      break;
+  BundleOpts bopts;
+  if (kind == Backend::kPm) {
+    bopts.pm.dram_budget_bytes = budget_for(
+        opts.c0_octants_per_node, target_global / procs, real_leaves);
+    bopts.pm.enable_transform = opts.enable_transform;
+    out.dram_budget_bytes = bopts.pm.dram_budget_bytes;
   }
+  Bundle bundle = make_bundle(kind, std::size_t{256} << 20, bopts);
   amr::DropletWorkload wl(params);
   register_droplet_feature(bundle, wl);
   cluster::ClusterConfig cfg;

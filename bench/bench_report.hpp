@@ -1,0 +1,135 @@
+// Machine-readable bench output (--json flag).
+//
+// Every bench binary mirrors its console table into a JSON document so the
+// figure reproductions leave a parseable perf trajectory behind
+// (BENCH_*.json in EXPERIMENTS.md). Schema, stable at schema_version 1:
+//
+//   {
+//     "schema_version": 1,
+//     "bench":  "fig07_breakdown",          // binary name
+//     "title":  "Figure 7: ...",            // console header line
+//     "scale":  1.0,                        // PMOCTREE_BENCH_SCALE
+//     "device": { "dram_read_ns": 60, ... } // Table 2 model parameters
+//     "table":  { "headers": [...], "rows": [[".."], ...] },  // the
+//                 // console table, cell-for-cell (display strings)
+//     "metrics": { "counters": {...}, "gauges": {...},
+//                  "histograms": {...} },   // final telemetry snapshot
+//     ...                                   // bench-specific extras (set())
+//   }
+//
+// Path defaults to bench_<name>.json in the working directory; `--json
+// <path>` overrides. validate_bench_json (the bench_smoke ctest target)
+// checks every bench's output against the required keys above.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pmo::bench {
+
+class BenchReport {
+ public:
+  /// `name` is the binary name (bench_<name>.json default path); argv is
+  /// scanned for `--json <path>`; other arguments are left alone (micro_ops
+  /// forwards its argv to google-benchmark afterwards).
+  BenchReport(std::string name, std::string title, int argc = 0,
+              char** argv = nullptr)
+      : name_(std::move(name)),
+        title_(std::move(title)),
+        path_("bench_" + name_ + ".json") {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  const std::string& json_path() const noexcept { return path_; }
+
+  /// Prints the Table 2 banner (same as print_table2_header) so benches
+  /// declare their title exactly once.
+  void print_header() const { print_table2_header(title_.c_str()); }
+
+  /// Starts the results table; add rows with row() so the console table
+  /// and its JSON mirror stay cell-for-cell in sync.
+  void begin_table(std::vector<std::string> headers) {
+    headers_ = std::move(headers);
+    printer_ = std::make_unique<TablePrinter>(headers_);
+  }
+
+  void row(std::vector<std::string> cells) {
+    rows_.push_back(cells);
+    printer_->row(std::move(cells));
+  }
+
+  void print_table(std::ostream& os) const { printer_->print(os); }
+
+  /// Bench-specific top-level extras ("expected", derived stats, ...).
+  void set(const std::string& key, telemetry::json::Value v) {
+    extras_.emplace_back(key, std::move(v));
+  }
+
+  telemetry::json::Value to_json() const {
+    namespace json = telemetry::json;
+    json::Value root = json::Value::object();
+    root["schema_version"] = 1;
+    root["bench"] = name_;
+    root["title"] = title_;
+    root["scale"] = bench_scale();
+    const nvbm::Config c = device_config();
+    json::Value dev = json::Value::object();
+    dev["dram_read_ns"] = c.dram_read_ns;
+    dev["dram_write_ns"] = c.dram_write_ns;
+    dev["nvbm_read_ns"] = c.read_ns;
+    dev["nvbm_write_ns"] = c.write_ns;
+    dev["cache_line"] = c.cache_line;
+    dev["latency_mode"] =
+        c.latency_mode == nvbm::LatencyMode::kModeled ? "modeled"
+                                                      : "injected";
+    root["device"] = std::move(dev);
+    json::Value table = json::Value::object();
+    json::Value headers = json::Value::array();
+    for (const auto& h : headers_) headers.push_back(h);
+    json::Value rows = json::Value::array();
+    for (const auto& r : rows_) {
+      json::Value row = json::Value::array();
+      for (const auto& cell : r) row.push_back(cell);
+      rows.push_back(std::move(row));
+    }
+    table["headers"] = std::move(headers);
+    table["rows"] = std::move(rows);
+    root["table"] = std::move(table);
+    root["metrics"] =
+        telemetry::to_json(telemetry::Registry::global().snapshot());
+    for (const auto& [k, v] : extras_) root[k] = v;
+    return root;
+  }
+
+  /// Serializes to json_path(). Returns false (with a message on stderr)
+  /// when the file cannot be written.
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    out << to_json().dump() << "\n";
+    std::printf("\njson: %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::string path_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::unique_ptr<TablePrinter> printer_;
+  std::vector<std::pair<std::string, telemetry::json::Value>> extras_;
+};
+
+}  // namespace pmo::bench

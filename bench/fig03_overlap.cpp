@@ -2,16 +2,19 @@
 // memory usage per 1000 octants over the droplet-ejection simulation.
 // Also reports the §1 statistic: the fraction of memory accesses that are
 // writes during meshing (paper: 41% average, 72% max).
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 #include <set>
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header(
-      "Figure 3: overlap ratio & memory per 1000 octants (150 steps)");
+int main(int argc, char** argv) {
+  BenchReport report(
+      "fig03_overlap",
+      "Figure 3: overlap ratio & memory per 1000 octants (150 steps)",
+      argc, argv);
+  report.print_header();
 
   const double scale = bench_scale();
   const int steps = static_cast<int>(150 * std::min(1.0, scale));
@@ -31,7 +34,7 @@ int main() {
   std::printf("mesh: %zu initial leaves, %d steps\n\n",
               bundle.mesh->leaf_count(), steps);
 
-  TablePrinter table({"step", "octants", "overlap%", "struct overlap%",
+  report.begin_table({"step", "octants", "overlap%", "struct overlap%",
                       "KiB/1000 octants", "mem factor vs 1 copy",
                       "write frac%"});
   OnlineStats overlap_stats, struct_overlap, write_frac, mem_factor;
@@ -83,7 +86,7 @@ int main() {
     write_frac.add(wf);
     mem_factor.add(factor);
     if (s % print_every == 0 || s == steps - 1) {
-      table.row({std::to_string(s), std::to_string(stats.nodes),
+      report.row({std::to_string(s), std::to_string(stats.nodes),
                  TablePrinter::num(100.0 * persist.overlap_ratio, 1),
                  TablePrinter::num(100.0 * s_overlap, 1),
                  TablePrinter::num(per_1000, 1),
@@ -91,7 +94,7 @@ int main() {
                  TablePrinter::num(100.0 * wf, 1)});
     }
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
 
   std::printf("\noverlap ratio (data-identical octants): min %.0f%%, max "
               "%.0f%%, mean %.0f%%; structural (spatial) overlap: min "
@@ -106,5 +109,17 @@ int main() {
   std::printf("write fraction of memory accesses: mean %.0f%%, max %.0f%% "
               "(paper: 41%% avg, 72%% max)\n",
               100.0 * write_frac.mean(), 100.0 * write_frac.max());
+
+  namespace json = telemetry::json;
+  json::Value summary = json::Value::object();
+  summary["overlap_mean"] = overlap_stats.mean();
+  summary["overlap_max"] = overlap_stats.max();
+  summary["struct_overlap_min"] = struct_overlap.min();
+  summary["struct_overlap_max"] = struct_overlap.max();
+  summary["mem_factor_max"] = mem_factor.max();
+  summary["write_frac_mean"] = write_frac.mean();
+  summary["write_frac_max"] = write_frac.max();
+  report.set("summary", std::move(summary));
+  report.write();
   return 0;
 }

@@ -5,13 +5,16 @@
 // Expected shape (paper): none of the implementations is perfectly flat
 // (partitioning/communication overhead grows); PM-octree tracks the
 // in-core octree closely; out-of-core is far slower throughout.
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header("Figure 6: weak scaling, ~1M elements/processor");
+int main(int argc, char** argv) {
+  BenchReport report("fig06_weak_scaling",
+                     "Figure 6: weak scaling, ~1M elements/processor",
+                     argc, argv);
+  report.print_header();
   const double per_rank = 1.0e6 * bench_scale();
   PointOpts opts;
   opts.c0_octants_per_node = 1.5e5 * bench_scale();
@@ -27,7 +30,7 @@ int main() {
               real_leaves, elems(per_rank).c_str(), steps);
 
   const int procs_list[] = {1, 6, 24, 100, 250, 500, 1000};
-  TablePrinter table({"procs", "elements", "PM-octree(s)", "in-core(s)",
+  report.begin_table({"procs", "elements", "PM-octree(s)", "in-core(s)",
                       "out-of-core(s)", "PM/in-core", "ooc/PM"});
   for (const int procs : procs_list) {
     const double target = per_rank * procs;
@@ -37,16 +40,17 @@ int main() {
                                   params, opts, real_leaves);
     const auto ooc = run_point(Backend::kEtree, procs, target, steps,
                                params, opts, real_leaves);
-    table.row({std::to_string(procs), elems(target),
+    report.row({std::to_string(procs), elems(target),
                TablePrinter::num(pm.cluster.total_s, 1),
                TablePrinter::num(incore.cluster.total_s, 1),
                TablePrinter::num(ooc.cluster.total_s, 1),
                TablePrinter::num(pm.cluster.total_s / incore.cluster.total_s, 2),
                TablePrinter::num(ooc.cluster.total_s / pm.cluster.total_s, 2)});
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape: PM-octree within ~1-2x of in-core at all "
               "scales; out-of-core several times slower; all curves rise "
               "with procs (communication + partitioning overhead).\n");
+  report.write();
   return 0;
 }

@@ -1,16 +1,26 @@
 // Figure 7 reproduction: execution-time percentage breakdown across the
 // major simulation routines for the weak-scaling study (PM-octree).
 //
+// The breakdown is derived from the telemetry registry, not bench-local
+// timers: ClusterSim publishes each routine's modeled worst-rank
+// nanoseconds into the cluster.routine.* counters, and this bench deltas
+// the registry around each run and rebuilds the table from that snapshot
+// (cluster::breakdown_from_telemetry). The JSON mirror carries the raw
+// per-routine nanoseconds alongside the display table.
+//
 // Expected shape (paper): Partition is 0% on 1 processor, ~19% at small
 // scale, and grows to dominate (~56%) at 1000 processors; Refine&Coarsen
 // and Balance shares shrink correspondingly.
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header("Figure 7: routine breakdown, weak scaling");
+int main(int argc, char** argv) {
+  BenchReport report("fig07_breakdown",
+                     "Figure 7: routine breakdown, weak scaling", argc,
+                     argv);
+  report.print_header();
   const double per_rank = 1.0e6 * bench_scale();
   PointOpts opts;
   opts.c0_octants_per_node = 1.5e5 * bench_scale();
@@ -26,22 +36,36 @@ int main() {
                                     "Balance",   "Partition",
                                     "Solve",     "Advect",
                                     "Persist"};
-  TablePrinter table({"procs", "Construct%", "Refine&Coarsen%", "Balance%",
+  report.begin_table({"procs", "Construct%", "Refine&Coarsen%", "Balance%",
                       "Partition%", "Solve%", "Advect%", "Persist%",
                       "total(s)"});
+  namespace json = telemetry::json;
+  json::Value routine_ns = json::Value::object();
+  auto& reg = telemetry::Registry::global();
   for (const int procs : {1, 6, 24, 100, 250, 500, 1000}) {
     const double target = per_rank * procs;
+    const auto before = reg.snapshot();
     const auto res = run_point(Backend::kPm, procs, target, steps, params,
                                opts, real_leaves);
+    const auto delta = reg.snapshot().delta(before);
+    const auto breakdown = cluster::breakdown_from_telemetry(delta);
     std::vector<std::string> row{std::to_string(procs)};
     for (const char* routine : kRoutines) {
-      row.push_back(TablePrinter::num(res.cluster.breakdown.percent(routine), 1));
+      row.push_back(TablePrinter::num(breakdown.percent(routine), 1));
     }
     row.push_back(TablePrinter::num(res.cluster.total_s, 1));
-    table.row(std::move(row));
+    report.row(std::move(row));
+
+    json::Value point = json::Value::object();
+    for (const auto& rm : cluster::kRoutineMetrics) {
+      point[rm.metric] = delta.counter(rm.metric);
+    }
+    routine_ns[std::to_string(procs)] = std::move(point);
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape: Partition%% = 0 at 1 proc, rising to "
               "dominate at 1000 procs (paper: 19%% at 6, 56%% at 1000).\n");
+  report.set("routine_ns", std::move(routine_ns));
+  report.write();
   return 0;
 }

@@ -4,13 +4,16 @@
 //
 // Expected shape (paper): speedup close to ideal over this range; the
 // breakdown stays stable across processor counts (no scalability cliff).
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header("Figure 8: strong scaling, 150M elements, PM-octree");
+int main(int argc, char** argv) {
+  BenchReport report("fig08_strong_scaling",
+                     "Figure 8: strong scaling, 150M elements, PM-octree",
+                     argc, argv);
+  report.print_header();
   const double global = 150.0e6 * bench_scale();
   PointOpts opts;
   opts.c0_octants_per_node = 1.5e5 * bench_scale();
@@ -26,7 +29,7 @@ int main() {
 
   const int procs_list[] = {240, 360, 500, 640, 800, 1000};
   double base_time = 0.0;
-  TablePrinter table({"procs", "time(s)", "speedup", "ideal", "Refine%",
+  report.begin_table({"procs", "time(s)", "speedup", "ideal", "Refine%",
                       "Balance%", "Partition%", "Solve%", "Persist%"});
   for (const int procs : procs_list) {
     const auto res = run_point(Backend::kPm, procs, global, steps, params,
@@ -35,7 +38,7 @@ int main() {
     const double speedup = base_time / res.cluster.total_s;
     const double ideal =
         static_cast<double>(procs) / static_cast<double>(procs_list[0]);
-    table.row({std::to_string(procs), TablePrinter::num(res.cluster.total_s, 1),
+    report.row({std::to_string(procs), TablePrinter::num(res.cluster.total_s, 1),
                TablePrinter::num(speedup, 2), TablePrinter::num(ideal, 2),
                TablePrinter::num(res.cluster.breakdown.percent("Refine&Coarsen"), 1),
                TablePrinter::num(res.cluster.breakdown.percent("Balance"), 1),
@@ -43,9 +46,10 @@ int main() {
                TablePrinter::num(res.cluster.breakdown.percent("Solve"), 1),
                TablePrinter::num(res.cluster.breakdown.percent("Persist"), 1)});
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape: speedup tracks ideal (within the "
               "Partition overhead); breakdown shares stay roughly stable "
               "across processor counts.\n");
+  report.write();
   return 0;
 }

@@ -5,14 +5,16 @@
 // processor count; the in-core octree's advantage over PM-octree SHRINKS
 // as processors grow (48% at 240 procs -> 36% at 1000), because with
 // fewer octants per rank a larger fraction of V_i fits in the C0 tree.
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header(
-      "Figure 9: strong scaling comparison, 150M elements");
+int main(int argc, char** argv) {
+  BenchReport report("fig09_strong_compare",
+                     "Figure 9: strong scaling comparison, 150M elements",
+                     argc, argv);
+  report.print_header();
   const double global = 150.0e6 * bench_scale();
   PointOpts opts;
   opts.c0_octants_per_node = 1.5e5 * bench_scale();
@@ -24,7 +26,7 @@ int main() {
   params.dt = 0.12;
   const auto real_leaves = probe_leaves(params);
 
-  TablePrinter table({"procs", "PM-octree(s)", "in-core(s)",
+  report.begin_table({"procs", "PM-octree(s)", "in-core(s)",
                       "out-of-core(s)", "in-core speedup vs PM",
                       "ooc/PM"});
   for (const int procs : {240, 360, 500, 640, 800, 1000}) {
@@ -35,16 +37,17 @@ int main() {
     const auto ooc = run_point(Backend::kEtree, procs, global, steps,
                                params, opts, real_leaves);
     const double gap = (pm.cluster.total_s - incore.cluster.total_s) / incore.cluster.total_s;
-    table.row({std::to_string(procs), TablePrinter::num(pm.cluster.total_s, 1),
+    report.row({std::to_string(procs), TablePrinter::num(pm.cluster.total_s, 1),
                TablePrinter::num(incore.cluster.total_s, 1),
                TablePrinter::num(ooc.cluster.total_s, 1),
                TablePrinter::num(100.0 * gap, 1) + "%",
                TablePrinter::num(ooc.cluster.total_s / pm.cluster.total_s, 2)});
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape: all times fall as procs grow; the "
               "in-core advantage over PM-octree shrinks with procs "
               "(paper: 48%% -> 36%%) because more of each rank's octants "
               "fit in DRAM (C0).\n");
+  report.write();
   return 0;
 }

@@ -6,13 +6,15 @@
 // pressure merges at 1 GB vs merge-only-at-step-end at 8 GB; even at 1 GB
 // PM-octree beats out-of-core by a wide margin; at 8 GB it approaches the
 // in-core octree.
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header("Figure 10: DRAM size for the C0 tree");
+int main(int argc, char** argv) {
+  BenchReport report("fig10_dram_size",
+                     "Figure 10: DRAM size for the C0 tree", argc, argv);
+  report.print_header();
   const double global = 6.75e6 * bench_scale();
   const int procs = 100;
   const int steps = 8;
@@ -28,14 +30,14 @@ int main() {
   std::printf("real mesh: %zu leaves; %s global elements on %d procs\n\n",
               real_leaves, elems(global).c_str(), procs);
 
-  TablePrinter table({"config", "C0 capacity", "time(s)", "C0->C1 merges",
+  report.begin_table({"config", "C0 capacity", "time(s)", "C0->C1 merges",
                       "NVBM writes"});
   for (const double gb : {1.0, 2.0, 4.0, 8.0}) {
     PointOpts opts;
     opts.c0_octants_per_node = (gb / 20.0) * octants_per_rank;
     const auto res = run_point(Backend::kPm, procs, global, steps, params,
                                opts, real_leaves);
-    table.row({"PM-octree " + TablePrinter::num(gb, 0) + "GB",
+    report.row({"PM-octree " + TablePrinter::num(gb, 0) + "GB",
                elems(opts.c0_octants_per_node) + " octants",
                TablePrinter::num(res.cluster.total_s, 1),
                std::to_string(res.eviction_merges),
@@ -45,19 +47,20 @@ int main() {
     PointOpts opts;
     const auto ooc = run_point(Backend::kEtree, procs, global, steps,
                                params, opts, real_leaves);
-    table.row({"out-of-core-octree", "-",
+    report.row({"out-of-core-octree", "-",
                TablePrinter::num(ooc.cluster.total_s, 1), "-",
                std::to_string(ooc.nvbm_writes)});
     const auto incore = run_point(Backend::kInCore, procs, global, steps,
                                   params, opts, real_leaves);
-    table.row({"in-core-octree 20GB", "all octants",
+    report.row({"in-core-octree 20GB", "all octants",
                TablePrinter::num(incore.cluster.total_s, 1), "-",
                std::to_string(incore.nvbm_writes)});
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape: time falls monotonically as the C0 DRAM "
               "grows (paper: 233.5s -> 89.1s); merges frequent at 1GB "
               "(paper: 491), rare at 8GB; PM at 1GB still far faster than "
               "out-of-core; PM at 8GB close to in-core.\n");
+  report.write();
   return 0;
 }

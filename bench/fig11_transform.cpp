@@ -7,13 +7,16 @@
 // execution time by ~25% and NVBM writes by ~31%. Also reports the §3.3
 // micro-result: the locality-oblivious layout serves up to 89% more NVBM
 // writes on a refinement pass.
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header("Figure 11: dynamic layout transformation");
+int main(int argc, char** argv) {
+  BenchReport report("fig11_transform",
+                     "Figure 11: dynamic layout transformation", argc,
+                     argv);
+  report.print_header();
   const int procs = 100;
   const int steps = 8;
   // Fixed per-node C0 capacity; the mesh grows past it (at the largest
@@ -28,7 +31,7 @@ int main() {
   std::printf("real mesh: %zu leaves; C0 capacity %s octants/node\n\n",
               real_leaves, elems(c0_per_node).c_str());
 
-  TablePrinter table({"elements", "C0 share", "time w/o (s)",
+  report.begin_table({"elements", "C0 share", "time w/o (s)",
                       "time w/ (s)", "time saved", "NVBM writes saved"});
   for (const double mesh_elems :
        {1.19e6, 3.75e6, 6.75e6, 22.5e6, 224.0e6}) {
@@ -53,13 +56,13 @@ int main() {
         static_cast<double>(without_t.nvbm_writes);
     const double share =
         std::min(1.0, c0_per_node / (target / procs)) * 100.0;
-    table.row({elems(target), TablePrinter::num(share, 0) + "%",
+    report.row({elems(target), TablePrinter::num(share, 0) + "%",
                TablePrinter::num(without_t.cluster.total_s, 1),
                TablePrinter::num(with_t.cluster.total_s, 1),
                TablePrinter::num(t_saved, 1) + "%",
                TablePrinter::num(w_saved, 1) + "%"});
   }
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape: savings ~0 while C0 covers the mesh; "
               "large meshes save ~25%% time / ~31%% NVBM writes with the "
               "transformation (paper, 224M elements).\n");
@@ -95,5 +98,12 @@ int main() {
               100.0 * (static_cast<double>(oblivious) /
                            std::max<std::uint64_t>(1, aware) -
                        1.0));
+
+  namespace json = telemetry::json;
+  json::Value micro = json::Value::object();
+  micro["nvbm_writes_locality_aware"] = aware;
+  micro["nvbm_writes_locality_oblivious"] = oblivious;
+  report.set("sec33_micro", std::move(micro));
+  report.write();
   return 0;
 }

@@ -2,10 +2,17 @@
 // Morton codes, device latency model, heap allocation, PM-octree ops and
 // the baseline index. These are sanity/regression benches, not paper
 // figures.
+//
+// Unlike the figure benches this one has a custom main: a reporter
+// subclass mirrors every run into the BenchReport JSON table while the
+// stock console output stays untouched, and `--json <path>` is stripped
+// from argv before google-benchmark parses its own flags.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baseline/bptree.hpp"
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 using namespace pmo;
 
@@ -216,6 +223,47 @@ void BM_EtreeCoverProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_EtreeCoverProbe);
 
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(bench::BenchReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      report_.row({run.benchmark_name(),
+                   TablePrinter::num(run.GetAdjustedRealTime(), 1),
+                   TablePrinter::num(run.GetAdjustedCPUTime(), 1),
+                   benchmark::GetTimeUnitString(run.time_unit),
+                   std::to_string(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchReport report(
+      "micro_ops", "Micro-benchmarks: substrate operations", argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;  // skip the flag and its path
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  report.begin_table(
+      {"benchmark", "real_time", "cpu_time", "unit", "iterations"});
+  JsonMirrorReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

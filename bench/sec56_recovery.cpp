@@ -6,7 +6,7 @@
 //   same nodes:  in-core 42.9 s | PM-octree 2.1 s | out-of-core ~instant
 //   new node:    in-core 42.9 s | PM-octree 3.48 s (2.1 + 1.38 replica
 //                move) | out-of-core cannot recover
-#include "bench_common.hpp"
+#include "bench_report.hpp"
 
 #include "cluster/comm_model.hpp"
 #include "pmoctree/replica.hpp"
@@ -14,8 +14,10 @@
 using namespace pmo;
 using namespace pmo::bench;
 
-int main() {
-  print_table2_header("Section 5.6: failure recovery time");
+int main(int argc, char** argv) {
+  BenchReport report("sec56_recovery",
+                     "Section 5.6: failure recovery time", argc, argv);
+  report.print_header();
   const double global = 6.75e6 * bench_scale();
   const int procs = 100;
   const int crash_step = 5;  // paper kills at step 20; shape-equivalent
@@ -32,7 +34,7 @@ int main() {
               "crash at step %d\n\n",
               real_leaves, elems(global).c_str(), procs, crash_step);
 
-  TablePrinter table({"octree", "scenario", "restart time (s, scaled)",
+  report.begin_table({"octree", "scenario", "restart time (s, scaled)",
                       "notes"});
 
   // ---- in-core: full snapshot read + rebuild ------------------------------
@@ -47,9 +49,9 @@ int main() {
     const double t = static_cast<double>(bundle.mesh->modeled_ns() -
                                          before) *
                      1e-9 * scale / procs;
-    table.row({"in-core-octree", "same nodes", TablePrinter::num(t, 2),
+    report.row({"in-core-octree", "same nodes", TablePrinter::num(t, 2),
                "reads whole snapshot, rebuilds tree"});
-    table.row({"in-core-octree", "new node", TablePrinter::num(t, 2),
+    report.row({"in-core-octree", "new node", TablePrinter::num(t, 2),
                "snapshot on shared PFS: same cost"});
   }
 
@@ -70,7 +72,7 @@ int main() {
     pm_same_node_s = static_cast<double>(bundle.mesh->modeled_ns() -
                                          before) *
                      1e-9;
-    table.row({"PM-octree", "same nodes",
+    report.row({"PM-octree", "same nodes",
                TablePrinter::num(pm_same_node_s, 4),
                "returns ADDR(V_{i-1}); O(1)"});
   }
@@ -97,7 +99,7 @@ int main() {
     const double write_s = static_cast<double>(
                                fresh.counters().modeled_write_ns) *
                            1e-9 * scale / procs;
-    table.row({"PM-octree", "new node",
+    report.row({"PM-octree", "new node",
                TablePrinter::num(pm_same_node_s + wire_s + write_s, 2),
                "restore + replica move"});
   }
@@ -113,15 +115,16 @@ int main() {
     const double t = static_cast<double>(bundle.mesh->modeled_ns() -
                                          before) *
                      1e-9;
-    table.row({"out-of-core-octree", "same nodes", TablePrinter::num(t, 4),
+    report.row({"out-of-core-octree", "same nodes", TablePrinter::num(t, 4),
                "octant database already consistent"});
-    table.row({"out-of-core-octree", "new node", "-",
+    report.row({"out-of-core-octree", "new node", "-",
                "cannot recover: octants not replicated"});
   }
 
-  table.print(std::cout);
+  report.print_table(std::cout);
   std::printf("\nexpected shape (paper): in-core ~42.9s; PM-octree ~2.1s "
               "same-node and ~3.48s new-node; out-of-core instant "
               "same-node, impossible new-node.\n");
+  report.write();
   return 0;
 }

@@ -1,0 +1,119 @@
+// bench_smoke harness: runs one bench binary with --json and validates
+// the emitted document against the BenchReport schema (schema_version 1).
+//
+//   validate_bench_json <bench-binary> <json-path> [extra bench args...]
+//
+// The bench runs through std::system with the caller's environment (the
+// ctest targets set PMOCTREE_BENCH_SCALE=0.05 so each bench finishes in
+// seconds); the validator then parses <json-path> and checks the keys
+// every bench must emit: schema_version, bench, title, scale, device
+// (with the Table 2 latency fields), table.headers / table.rows (row
+// width matching the header count) and metrics. Exits non-zero with a
+// message on the first violation.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace {
+
+using pmo::telemetry::json::Value;
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "validate_bench_json: %s\n", msg.c_str());
+  return 1;
+}
+
+const Value* require(const Value& obj, const std::string& key,
+                     Value::Type type, std::string* err) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) {
+    *err = "missing key \"" + key + "\"";
+    return nullptr;
+  }
+  if (v->type() != type) {
+    *err = "key \"" + key + "\" has wrong type";
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return fail("usage: validate_bench_json <bench> <json-path> [args...]");
+  }
+  const std::string bench = argv[1];
+  const std::string path = argv[2];
+
+  std::string cmd = "\"" + bench + "\" --json \"" + path + "\"";
+  for (int i = 3; i < argc; ++i) cmd += " \"" + std::string(argv[i]) + "\"";
+  std::printf("running: %s\n", cmd.c_str());
+  std::fflush(stdout);
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) return fail("bench exited with status " + std::to_string(rc));
+
+  std::ifstream in(path);
+  if (!in) return fail("bench did not write " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const auto doc = Value::parse(buf.str(), &err);
+  if (!doc) return fail("JSON parse error in " + path + ": " + err);
+  if (!doc->is_object()) return fail("document is not an object");
+
+  const Value* v = require(*doc, "schema_version", Value::Type::kNumber,
+                           &err);
+  if (v == nullptr) return fail(err);
+  if (v->as_double() != 1.0) return fail("unsupported schema_version");
+  if (require(*doc, "bench", Value::Type::kString, &err) == nullptr ||
+      require(*doc, "title", Value::Type::kString, &err) == nullptr ||
+      require(*doc, "scale", Value::Type::kNumber, &err) == nullptr) {
+    return fail(err);
+  }
+
+  const Value* dev = require(*doc, "device", Value::Type::kObject, &err);
+  if (dev == nullptr) return fail(err);
+  for (const char* key : {"dram_read_ns", "dram_write_ns", "nvbm_read_ns",
+                          "nvbm_write_ns", "cache_line"}) {
+    if (require(*dev, key, Value::Type::kNumber, &err) == nullptr) {
+      return fail("device: " + err);
+    }
+  }
+
+  const Value* table = require(*doc, "table", Value::Type::kObject, &err);
+  if (table == nullptr) return fail(err);
+  const Value* headers =
+      require(*table, "headers", Value::Type::kArray, &err);
+  const Value* rows =
+      headers ? require(*table, "rows", Value::Type::kArray, &err) : nullptr;
+  if (rows == nullptr) return fail("table: " + err);
+  if (headers->size() == 0) return fail("table.headers is empty");
+  if (rows->size() == 0) return fail("table.rows is empty");
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    const Value& row = rows->at(i);
+    if (!row.is_array() || row.size() != headers->size()) {
+      return fail("table.rows[" + std::to_string(i) +
+                  "] does not match the header count");
+    }
+  }
+
+  const Value* metrics = require(*doc, "metrics", Value::Type::kObject,
+                                 &err);
+  if (metrics == nullptr) return fail(err);
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    if (require(*metrics, key, Value::Type::kObject, &err) == nullptr) {
+      return fail("metrics: " + err);
+    }
+  }
+
+  std::printf("ok: %s (%zu rows, %zu metric counters)\n", path.c_str(),
+              rows->size(),
+              metrics->find("counters")->members().size());
+  return 0;
+}

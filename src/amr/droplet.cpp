@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace pmo::amr {
 
 DropletWorkload::DropletWorkload(DropletParams params) : params_(params) {
@@ -111,6 +113,7 @@ std::uint64_t DropletWorkload::initialize(MeshBackend& mesh) {
 
 StepStats DropletWorkload::step(MeshBackend& mesh, int step_index,
                                 bool persist) {
+  telemetry::Span span("amr.step");
   StepStats out;
   const auto& p = params_;
   const double t_new = (step_index + 1) * p.dt;
@@ -210,6 +213,12 @@ StepStats DropletWorkload::step(MeshBackend& mesh, int step_index,
     mesh.end_step(step_index);
     out.persist_ns = mesh.modeled_ns() - mark;
   }
+
+  auto& reg = telemetry::Registry::global();
+  reg.counter("amr.steps").add();
+  reg.counter("amr.refined").add(out.refined);
+  reg.counter("amr.coarsened").add(out.coarsened);
+  reg.counter("amr.balance_refined").add(out.balance_refined);
 
   time_ = t_new;
   return out;

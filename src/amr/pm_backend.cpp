@@ -1,5 +1,7 @@
 #include "amr/pm_backend.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace pmo::amr {
 
 PmOctreeBackend::PmOctreeBackend(nvbm::Device& device,
@@ -11,6 +13,7 @@ PmOctreeBackend::PmOctreeBackend(nvbm::Device& device,
 void PmOctreeBackend::end_step(int) {
   last_persist_ = tree_->persist();
   if (pm_.enable_replica) {
+    telemetry::Span span("pmoctree.replica_ship");
     replica_bytes_ += replica_mgr_.ship(*tree_, replica_);
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace pmo::cluster {
 
@@ -22,9 +23,29 @@ double rank_share_s(std::uint64_t global_ns, std::size_t weight,
 
 }  // namespace
 
+TimeBreakdown breakdown_from_telemetry(const telemetry::Snapshot& snap) {
+  TimeBreakdown out;
+  for (const auto& r : kRoutineMetrics) {
+    const auto ns = snap.counter(r.metric);
+    if (ns != 0) out.add_seconds(r.display, static_cast<double>(ns) * 1e-9);
+  }
+  return out;
+}
+
 ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
                               amr::DropletWorkload& wl) {
   ClusterResult out;
+  // Per-routine accounting goes through the telemetry registry (the
+  // kRoutineMetrics counters); `routine_s` stages this run's seconds so
+  // the published delta and the returned breakdown agree exactly.
+  auto& reg = telemetry::Registry::global();
+  constexpr std::size_t kNRoutines = std::size(kRoutineMetrics);
+  enum { kConstruct, kAdvect, kRefine, kBalance, kSolve, kPersist,
+         kPartition };
+  double routine_s[kNRoutines] = {};
+  telemetry::Counter* steps_counter = &reg.counter("cluster.steps");
+  telemetry::Counter* migrated_counter =
+      &reg.counter("cluster.migrated_octants");
   const int procs = config_.procs;
   const double scale = config_.scale;
   // Boundary (ghost-layer) octant counts grow with the surface of a
@@ -36,7 +57,7 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
   const double construct_s =
       static_cast<double>(construct_ns) * 1e-9 * scale /
       static_cast<double>(procs);
-  out.breakdown.add_seconds("Construct", construct_s);
+  routine_s[kConstruct] += construct_s;
   out.total_s += construct_s;
 
   std::unordered_map<LocCode, int, LocCodeHash> prev_owner;
@@ -125,15 +146,23 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
       }
     }
     const auto wr = static_cast<std::size_t>(worst_rank);
-    out.breakdown.add_seconds("Advect", advect[wr]);
-    out.breakdown.add_seconds("Refine&Coarsen", refine[wr]);
-    out.breakdown.add_seconds("Balance", bal[wr]);
-    out.breakdown.add_seconds("Solve", solve[wr]);
-    out.breakdown.add_seconds("Persist", persist[wr]);
-    out.breakdown.add_seconds("Partition", partit[wr]);
+    routine_s[kAdvect] += advect[wr];
+    routine_s[kRefine] += refine[wr];
+    routine_s[kBalance] += bal[wr];
+    routine_s[kSolve] += solve[wr];
+    routine_s[kPersist] += persist[wr];
+    routine_s[kPartition] += partit[wr];
+    steps_counter->add();
     out.step_seconds.push_back(worst);
     out.total_s += worst;
   }
+
+  for (std::size_t i = 0; i < kNRoutines; ++i) {
+    reg.counter(kRoutineMetrics[i].metric)
+        .add(static_cast<std::uint64_t>(routine_s[i] * 1e9));
+    out.breakdown.add_seconds(kRoutineMetrics[i].display, routine_s[i]);
+  }
+  migrated_counter->add(out.total_migrated);
 
   out.real_leaves = mesh.leaf_count();
   out.global_elements = static_cast<double>(out.real_leaves) * scale;

@@ -17,8 +17,33 @@
 #include "cluster/comm_model.hpp"
 #include "cluster/partition.hpp"
 #include "common/timing.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pmo::cluster {
+
+/// The paper's simulation routines (Fig. 7/8b breakdown) with their
+/// telemetry counter names. ClusterSim publishes each routine's modeled
+/// worst-rank nanoseconds into these counters; benches delta the registry
+/// around a run to get the per-point breakdown (fig07 derives its table
+/// from exactly this, not from bench-local timers).
+struct RoutineMetric {
+  const char* display;  ///< paper's routine name ("Refine&Coarsen")
+  const char* metric;   ///< counter name ("cluster.routine.refine_coarsen_ns")
+};
+inline constexpr RoutineMetric kRoutineMetrics[] = {
+    {"Construct", "cluster.routine.construct_ns"},
+    {"Advect", "cluster.routine.advect_ns"},
+    {"Refine&Coarsen", "cluster.routine.refine_coarsen_ns"},
+    {"Balance", "cluster.routine.balance_ns"},
+    {"Solve", "cluster.routine.solve_ns"},
+    {"Persist", "cluster.routine.persist_ns"},
+    {"Partition", "cluster.routine.partition_ns"},
+};
+
+/// Rebuilds the Fig. 7-style per-routine breakdown (seconds keyed by
+/// display name) from a telemetry snapshot (typically a delta spanning
+/// one cluster run).
+TimeBreakdown breakdown_from_telemetry(const telemetry::Snapshot& snap);
 
 struct ClusterConfig {
   int procs = 1;

@@ -160,6 +160,31 @@ std::size_t Device::simulate_crash(Rng& rng, double survive_p) {
   return lost;
 }
 
+void Device::publish(telemetry::Registry& reg,
+                     const std::string& prefix) const {
+  const auto gauge = [&](const char* name, double v) {
+    reg.gauge(prefix + "." + name).set(v);
+  };
+  gauge("reads", static_cast<double>(counters_.reads));
+  gauge("writes", static_cast<double>(counters_.writes));
+  gauge("bytes_read", static_cast<double>(counters_.bytes_read));
+  gauge("bytes_written", static_cast<double>(counters_.bytes_written));
+  gauge("lines_read", static_cast<double>(counters_.lines_read));
+  gauge("lines_written", static_cast<double>(counters_.lines_written));
+  gauge("flushes", static_cast<double>(counters_.flushes));
+  gauge("barriers", static_cast<double>(counters_.barriers));
+  gauge("modeled_read_ns",
+        static_cast<double>(counters_.modeled_read_ns));
+  gauge("modeled_write_ns",
+        static_cast<double>(counters_.modeled_write_ns));
+  gauge("write_fraction", counters_.write_fraction());
+  gauge("dirty_lines", static_cast<double>(dirty_.size()));
+  if (config_.track_wear) {
+    gauge("max_wear", static_cast<double>(max_wear()));
+    gauge("mean_wear", mean_wear());
+  }
+}
+
 std::uint64_t Device::max_wear() const noexcept {
   if (wear_.empty()) return 0;
   return *std::max_element(wear_.begin(), wear_.end());

@@ -17,15 +17,18 @@
 //    discussion.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pmo::nvbm {
 
@@ -84,7 +87,18 @@ class Device {
   std::size_t capacity() const noexcept { return capacity_; }
   const Config& config() const noexcept { return config_; }
   const Counters& counters() const noexcept { return counters_; }
+  /// Zeroes the access counters (a measurement-session boundary). Wear
+  /// counters intentionally SURVIVE this call: they model the physical
+  /// medium's endurance, which does not reset between experiments — the
+  /// Fig. 11 / ablation_wear methodology depends on that. Tests that need
+  /// a factory-fresh device use reset_all().
   void reset_counters() noexcept { counters_ = Counters{}; }
+  /// reset_counters() plus a wear-counter wipe (as if the DIMM were
+  /// replaced). Test-only semantics; a real device cannot un-wear.
+  void reset_all() noexcept {
+    reset_counters();
+    std::fill(wear_.begin(), wear_.end(), 0u);
+  }
 
   /// Reads `len` bytes at `offset` into `dst`, charging read latency.
   void read(std::uint64_t offset, void* dst, std::size_t len);
@@ -140,6 +154,14 @@ class Device {
   std::uint64_t max_wear() const noexcept;
   /// Mean per-line write count over lines ever written.
   double mean_wear() const noexcept;
+
+  /// Publishes the device's access/wear counters into `reg` as gauges
+  /// under `prefix` ("nvbm" -> "nvbm.writes", "nvbm.max_wear", ...).
+  /// Typically installed as a pull-mode registry source so every snapshot
+  /// sees fresh values:
+  ///   auto src = reg.register_source(
+  ///       [&dev](telemetry::Registry& r) { dev.publish(r, "nvbm"); });
+  void publish(telemetry::Registry& reg, const std::string& prefix) const;
 
  private:
   void charge_read(std::size_t lines);

@@ -18,7 +18,22 @@ std::size_t lines_for(std::size_t bytes, std::size_t line) noexcept {
 // ---------------------------------------------------------------------------
 
 PmOctree::PmOctree(nvbm::Heap& heap, PmConfig config)
-    : heap_(heap), config_(config) {}
+    : heap_(heap), config_(config) {
+  auto& reg = telemetry::Registry::global();
+  tm_.cow_copies = &reg.counter("pmoctree.cow_copies");
+  tm_.twin_reuse = &reg.counter("pmoctree.merge.twin_reuse");
+  tm_.merged_from_dram = &reg.counter("pmoctree.merge.merged_from_dram");
+  tm_.tombstoned = &reg.counter("pmoctree.merge.tombstoned");
+  tm_.evictions = &reg.counter("pmoctree.merge.evictions");
+  tm_.persists = &reg.counter("pmoctree.persists");
+  tm_.gc_sweeps = &reg.counter("pmoctree.gc.sweeps");
+  tm_.gc_freed = &reg.counter("pmoctree.gc.freed");
+  tm_.transform_runs = &reg.counter("pmoctree.transform.runs");
+  tm_.transform_moved_to_dram =
+      &reg.counter("pmoctree.transform.moved_to_dram");
+  tm_.transform_evicted_to_nvbm =
+      &reg.counter("pmoctree.transform.evicted_to_nvbm");
+}
 
 PmOctree PmOctree::create(nvbm::Heap& heap, PmConfig config) {
   PmOctree tree(heap, config);
@@ -52,6 +67,7 @@ bool PmOctree::can_restore(nvbm::Heap& heap) {
 }
 
 PmOctree PmOctree::restore(nvbm::Heap& heap, PmConfig config) {
+  telemetry::Span span("pmoctree.restore");
   PmOctree tree(heap, config);
   const std::uint64_t root_off = heap.root(kPrevRootSlot);
   PMO_CHECK_MSG(root_off != 0, "pm_restore: no persisted version in heap");
@@ -226,6 +242,7 @@ NodeRef PmOctree::make_mutable(Path& path, std::size_t i) {
   // Copy-on-write (Fig. 4): copy this shared octant, then recursively make
   // the parent mutable and relink. The shared original stays untouched for
   // V_{i-1}.
+  tm_.cow_copies->add();
   NodeRef parent_ref;
   if (i > 0) parent_ref = make_mutable(path, i - 1);
 
@@ -695,6 +712,7 @@ NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
     for (int i = 0; i < kChildrenPerNode; ++i)
       match &= twin.child[i] == node.child[i];
     if (match) {
+      tm_.twin_reuse->add();
       free_node(ref);  // also drops the twins_ entry
       ++(*moved);
       return NodeRef::nvbm(twin_off);
@@ -823,6 +841,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
   if (working_relink) charge_dram_write();
   const auto twin_it = twins_.find(ptr);
   if (!dirty && !child_changed && twin_it != twins_.end()) {
+    tm_.twin_reuse->add();
     return {ref, NodeRef::nvbm(twin_it->second), false};  // reuse: shared
   }
   // Write a fresh durable twin; the old one (if any) still belongs to
@@ -838,6 +857,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
 }
 
 PersistStats PmOctree::persist() {
+  telemetry::Span span("pmoctree.persist");
   PersistStats stats;
 
   // 1. Merge: give every octant of V_i an NVBM representative. Changed
@@ -849,8 +869,12 @@ PersistStats PmOctree::persist() {
   SampleCensus census;
   const bool want_census =
       config_.enable_transform && !features_.empty();
-  const auto res = persist_subtree(cur_root_, stats, &changed,
-                                   want_census ? &census : nullptr);
+  MergeResult res;
+  {
+    telemetry::Span merge_span("merge");  // pmoctree.persist.merge
+    res = persist_subtree(cur_root_, stats, &changed,
+                          want_census ? &census : nullptr);
+  }
   const NodeRef new_prev = res.pref;
   cur_root_ = res.wref;  // NVBM-above-DRAM nodes may have joined C0
   PMO_CHECK(new_prev.in_nvbm());
@@ -901,12 +925,18 @@ PersistStats PmOctree::persist() {
   ++epoch_;
 
   // 4. Reclaim superseded octants (GC is never run *during* the merge).
-  if (config_.gc_on_persist) stats.gc_freed = gc();
+  if (config_.gc_on_persist) {
+    telemetry::Span gc_span("gc");  // pmoctree.persist.gc
+    stats.gc_freed = gc();
+  }
 
   // 5. Decay heat and re-layout hot subtrees (the paper triggers dynamic
   //    transformation only after merging completes).
   for (auto& [id, h] : heat_) h *= 0.5;
-  if (want_census) transform_with(census);
+  if (want_census) {
+    telemetry::Span tr_span("transform");  // pmoctree.persist.transform
+    transform_with(census);
+  }
 
   // 6. Automated C0 sizing (the paper's §6 future work): adapt the DRAM
   //    budget to keep the NVBM tier's share of memory accesses in band.
@@ -931,6 +961,9 @@ PersistStats PmOctree::persist() {
     }
   }
 
+  tm_.persists->add();
+  tm_.merged_from_dram->add(stats.merged_from_dram);
+  tm_.tombstoned->add(stats.tombstoned);
   return stats;
 }
 
@@ -958,8 +991,11 @@ std::size_t PmOctree::gc() {
   std::unordered_set<std::uint64_t> live;
   collect_reachable_nvbm(prev_root_, live);
   collect_reachable_nvbm(cur_root_, live);
-  return heap_.sweep(
+  const std::size_t freed = heap_.sweep(
       [&](std::uint64_t off) { return live.count(off) != 0; });
+  tm_.gc_sweeps->add();
+  tm_.gc_freed->add(freed);
+  return freed;
 }
 
 void PmOctree::destroy() {
@@ -1150,6 +1186,9 @@ TransformStats PmOctree::transform_with(SampleCensus& buckets) {
     replace_subtree(r.id, /*to_dram=*/true, &out.moved_to_dram);
   }
   out.transformed = out.moved_to_dram > 0 || out.evicted_to_nvbm > 0;
+  if (out.transformed) tm_.transform_runs->add();
+  tm_.transform_moved_to_dram->add(out.moved_to_dram);
+  tm_.transform_evicted_to_nvbm->add(out.evicted_to_nvbm);
   return out;
 }
 
@@ -1196,7 +1235,10 @@ void PmOctree::enforce_dram_budget() {
       write_node(path[i - 1].ref, path[i - 1].node);
     }
     c0_set_.erase(id);
-    if (moved > 0) ++eviction_merges_;
+    if (moved > 0) {
+      ++eviction_merges_;
+      tm_.evictions->add();
+    }
   }
 }
 

@@ -31,6 +31,7 @@
 #include "octree/octree.hpp"
 #include "pmoctree/config.hpp"
 #include "pmoctree/node.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pmo::pmoctree {
 
@@ -297,9 +298,28 @@ class PmOctree {
     if (level > depth_) depth_ = level;
   }
 
+  /// Cached handles into the process-global telemetry registry, resolved
+  /// once at construction so the increment paths are single relaxed
+  /// atomics (no name lookup). All counters aggregate across PmOctree
+  /// instances; benches delta around a run to isolate one tree.
+  struct TelemetryCounters {
+    telemetry::Counter* cow_copies;        ///< pmoctree.cow_copies
+    telemetry::Counter* twin_reuse;        ///< pmoctree.merge.twin_reuse
+    telemetry::Counter* merged_from_dram;  ///< pmoctree.merge.merged_from_dram
+    telemetry::Counter* tombstoned;        ///< pmoctree.merge.tombstoned
+    telemetry::Counter* evictions;         ///< pmoctree.merge.evictions
+    telemetry::Counter* persists;          ///< pmoctree.persists
+    telemetry::Counter* gc_sweeps;         ///< pmoctree.gc.sweeps
+    telemetry::Counter* gc_freed;          ///< pmoctree.gc.freed
+    telemetry::Counter* transform_runs;    ///< pmoctree.transform.runs
+    telemetry::Counter* transform_moved_to_dram;
+    telemetry::Counter* transform_evicted_to_nvbm;
+  };
+
   // state --------------------------------------------------------------------
   nvbm::Heap& heap_;
   PmConfig config_;
+  TelemetryCounters tm_;
 
   std::deque<PNode> dram_pool_;
   std::vector<PNode*> dram_free_;

@@ -1,0 +1,98 @@
+// Minimal JSON document model, writer and parser.
+//
+// The bench reporting pipeline needs (a) a stable machine-readable output
+// format for the BENCH_*.json perf trajectory and (b) a way for the smoke
+// validator and tests to read those files back without external
+// dependencies. This is a deliberately small subset of JSON: UTF-8 text is
+// passed through verbatim (no \uXXXX synthesis beyond what the input
+// contains), numbers are doubles with integer-ness preserved, and object
+// key order is insertion order so that dump() output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pmo::telemetry::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  /// Any arithmetic type; integer-ness is remembered for serialization.
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  Value(T v)
+      : type_(Type::kNumber),
+        num_(static_cast<double>(v)),
+        is_int_(std::is_integral_v<T>) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_double() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+
+  // ---- object access ------------------------------------------------------
+  /// Member lookup; inserts a null member when absent (object only).
+  Value& operator[](const std::string& key);
+  /// Member lookup without insertion; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  // ---- array access -------------------------------------------------------
+  void push_back(Value v);
+  std::size_t size() const noexcept;
+  const Value& at(std::size_t i) const { return elems_[i]; }
+
+  /// Serializes with deterministic formatting: 2-space indent, object keys
+  /// in insertion order, scalar-only arrays on one line.
+  std::string dump() const;
+
+  /// Parses a JSON document; nullopt (with *error filled when given) on
+  /// malformed input.
+  static std::optional<Value> parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Value> elems_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace pmo::telemetry::json

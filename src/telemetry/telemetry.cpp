@@ -1,0 +1,323 @@
+#include "telemetry/telemetry.hpp"
+
+#include <bit>
+#include <chrono>
+#include <ostream>
+
+#include "common/stats.hpp"
+
+namespace pmo::telemetry {
+
+namespace {
+
+std::uint64_t wall_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local std::string t_span_path;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::record(std::uint64_t v) noexcept {
+#if PMO_TELEMETRY_ENABLED
+  const int b = v == 0 ? 0 : std::bit_width(v);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+#else
+  (void)v;
+#endif
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const auto v = min_.load(std::memory_order_relaxed);
+  return v == ~std::uint64_t{0} ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const auto n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::percentile_bound(double p) const noexcept {
+  const auto n = count();
+  if (n == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank)
+      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+  return max();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double Snapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+const HistogramView* Snapshot::histogram(const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+Snapshot Snapshot::delta(const Snapshot& since) const {
+  Snapshot out;
+  for (const auto& [name, v] : counters) {
+    const auto base = since.counter(name);
+    out.counters[name] = v > base ? v - base : 0;
+  }
+  out.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    HistogramView d = h;
+    if (const auto* base = since.histogram(name)) {
+      d.count = h.count > base->count ? h.count - base->count : 0;
+      d.sum = h.sum > base->sum ? h.sum - base->sum : 0;
+      std::map<int, std::uint64_t> buckets;
+      for (const auto& [b, n] : h.buckets) buckets[b] = n;
+      for (const auto& [b, n] : base->buckets) {
+        auto it = buckets.find(b);
+        if (it == buckets.end()) continue;
+        it->second = it->second > n ? it->second - n : 0;
+        if (it->second == 0) buckets.erase(it);
+      }
+      d.buckets.assign(buckets.begin(), buckets.end());
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+Registry::Source& Registry::Source::operator=(Source&& o) noexcept {
+  if (this != &o) {
+    reset();
+    reg_ = o.reg_;
+    id_ = o.id_;
+    o.reg_ = nullptr;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+void Registry::Source::reset() {
+  if (reg_ == nullptr) return;
+  std::lock_guard lk(reg_->mu_);
+  auto& sources = reg_->sources_;
+  for (auto it = sources.begin(); it != sources.end(); ++it) {
+    if (it->first == id_) {
+      sources.erase(it);
+      break;
+    }
+  }
+  reg_ = nullptr;
+  id_ = 0;
+}
+
+Registry::Source Registry::register_source(
+    std::function<void(Registry&)> fill) {
+  Source handle;
+  handle.reg_ = this;
+  {
+    std::lock_guard lk(mu_);
+    handle.id_ = next_source_++;
+    sources_.emplace_back(handle.id_, std::move(fill));
+  }
+  return handle;
+}
+
+void Registry::refresh_sources() {
+  // Copy the callbacks out so a source may itself create metrics (which
+  // takes the registry mutex).
+  std::vector<std::function<void(Registry&)>> fills;
+  {
+    std::lock_guard lk(mu_);
+    fills.reserve(sources_.size());
+    for (const auto& [id, fn] : sources_) fills.push_back(fn);
+  }
+  for (const auto& fn : fills) fn(*this);
+}
+
+Snapshot Registry::snapshot() {
+  refresh_sources();
+  Snapshot out;
+  std::lock_guard lk(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramView v;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const auto n = h->bucket_count(b);
+      if (n != 0) v.buckets.emplace_back(b, n);
+    }
+    out.histograms[name] = std::move(v);
+  }
+  return out;
+}
+
+void Registry::clear() {
+  std::lock_guard lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  sources_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+#if PMO_TELEMETRY_ENABLED
+
+Span::Span(Registry& reg, std::string_view name)
+    : reg_(reg), prev_path_(t_span_path), start_ns_(wall_ns()) {
+  if (t_span_path.empty()) {
+    t_span_path.assign(name);
+  } else {
+    t_span_path.append(1, '.').append(name);
+  }
+}
+
+Span::~Span() {
+  const std::uint64_t elapsed = wall_ns() - start_ns_;
+  reg_.histogram(t_span_path).record(elapsed);
+  t_span_path = std::move(prev_path_);
+}
+
+const std::string& Span::current_path() { return t_span_path; }
+
+#else
+
+Span::Span(Registry&, std::string_view) {}
+Span::~Span() = default;
+
+const std::string& Span::current_path() {
+  return t_span_path;  // always empty in disabled builds
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// exporters
+// ---------------------------------------------------------------------------
+
+void write_table(const Snapshot& snap, std::ostream& os) {
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TablePrinter t({"metric", "value"});
+    for (const auto& [name, v] : snap.counters)
+      t.row({name, std::to_string(v)});
+    for (const auto& [name, v] : snap.gauges)
+      t.row({name, TablePrinter::num(v, 3)});
+    t.print(os);
+  }
+  if (!snap.histograms.empty()) {
+    TablePrinter t({"histogram", "count", "sum", "min", "mean", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      t.row({name, std::to_string(h.count), std::to_string(h.sum),
+             std::to_string(h.min), TablePrinter::num(h.mean(), 1),
+             std::to_string(h.max)});
+    }
+    t.print(os);
+  }
+}
+
+json::Value to_json(const Snapshot& snap) {
+  auto root = json::Value::object();
+  auto& counters = root["counters"] = json::Value::object();
+  for (const auto& [name, v] : snap.counters) counters[name] = v;
+  auto& gauges = root["gauges"] = json::Value::object();
+  for (const auto& [name, v] : snap.gauges) gauges[name] = v;
+  auto& hists = root["histograms"] = json::Value::object();
+  for (const auto& [name, h] : snap.histograms) {
+    auto hv = json::Value::object();
+    hv["count"] = h.count;
+    hv["sum"] = h.sum;
+    hv["min"] = h.min;
+    hv["max"] = h.max;
+    hv["mean"] = h.mean();
+    auto buckets = json::Value::array();
+    for (const auto& [b, n] : h.buckets) {
+      auto pair = json::Value::array();
+      pair.push_back(b);
+      pair.push_back(n);
+      buckets.push_back(std::move(pair));
+    }
+    hv["buckets"] = std::move(buckets);
+    hists[name] = std::move(hv);
+  }
+  return root;
+}
+
+void write_json(const Snapshot& snap, std::ostream& os) {
+  os << to_json(snap).dump();
+}
+
+}  // namespace pmo::telemetry

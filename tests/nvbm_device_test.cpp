@@ -180,5 +180,50 @@ TEST(Device, ResetCountersClears) {
   EXPECT_EQ(dev.counters().modeled_ns(), 0u);
 }
 
+TEST(Device, WearSurvivesResetCounters) {
+  // reset_counters() deliberately keeps per-line wear: wear models device
+  // endurance, which no software event can undo. Benches rely on this to
+  // reset access accounting mid-run while endurance keeps accumulating.
+  Config cfg = fast_config();
+  cfg.track_wear = true;
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 5; ++i) dev.write(0, &v, 8);
+  dev.reset_counters();
+  EXPECT_EQ(dev.counters().writes, 0u);
+  EXPECT_EQ(dev.max_wear(), 5u);
+}
+
+TEST(Device, ResetAllClearsWearToo) {
+  Config cfg = fast_config();
+  cfg.track_wear = true;
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 5; ++i) dev.write(0, &v, 8);
+  dev.reset_all();
+  EXPECT_EQ(dev.counters().writes, 0u);
+  EXPECT_EQ(dev.max_wear(), 0u);
+  EXPECT_EQ(dev.mean_wear(), 0.0);
+}
+
+#if PMO_TELEMETRY_ENABLED
+TEST(Device, PublishExportsGauges) {
+  Config cfg = fast_config();
+  cfg.track_wear = true;
+  Device dev(1 << 16, cfg);
+  std::uint64_t v = 0;
+  dev.write(0, &v, 8);
+  dev.read(0, &v, 8);
+
+  telemetry::Registry reg;
+  dev.publish(reg, "dev");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauge("dev.writes"), 1.0);
+  EXPECT_EQ(snap.gauge("dev.reads"), 1.0);
+  EXPECT_GT(snap.gauge("dev.modeled_write_ns"), 0.0);
+  EXPECT_EQ(snap.gauge("dev.max_wear"), 1.0);
+}
+#endif  // PMO_TELEMETRY_ENABLED
+
 }  // namespace
 }  // namespace pmo::nvbm

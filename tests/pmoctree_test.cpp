@@ -308,5 +308,48 @@ TEST(PmOctree, RefineWhereAndCoarsenWhere) {
   EXPECT_EQ(tree.leaf_count(), 8u);
 }
 
+#if PMO_TELEMETRY_ENABLED
+TEST(PmOctree, PersistCyclePublishesTelemetry) {
+  // A refine -> persist -> mutate -> persist cycle must leave its trace
+  // in the global registry: pmoctree.persists counts both persists, the
+  // merge produces pmoctree.merge.* activity, and the post-persist
+  // mutation of a shared path shows up as pmoctree.cow_copies.
+  auto& reg = telemetry::Registry::global();
+  const auto before = reg.snapshot();
+
+  {
+    // DRAM-resident tree: persist merges the C0 subtree into NVBM.
+    Fixture fx;
+    auto tree = PmOctree::create(fx.heap, fx.config);
+    tree.refine(LocCode::root());
+    tree.refine(LocCode::root().child(0));
+    tree.persist();
+  }
+  {
+    // Zero DRAM budget: octants live in NVBM, so mutating a path shared
+    // with V_{i-1} right after a persist must copy-on-write it.
+    PmConfig pm;
+    pm.dram_budget_bytes = 0;
+    Fixture fx(64 << 20, pm);
+    auto tree = PmOctree::create(fx.heap, pm);
+    tree.refine(LocCode::root());
+    tree.refine(LocCode::root().child(0));
+    tree.persist();
+    tree.update(LocCode::root().child(0).child(1), cell(0.9));
+    tree.persist();
+  }
+
+  const auto delta = reg.snapshot().delta(before);
+  EXPECT_EQ(delta.counter("pmoctree.persists"), 3u);
+  EXPECT_GE(delta.counter("pmoctree.cow_copies"), 1u);
+  EXPECT_GT(delta.counter("pmoctree.merge.merged_from_dram"), 0u);
+  // persist() runs under a span, with the merge nested inside it.
+  ASSERT_NE(delta.histogram("pmoctree.persist"), nullptr);
+  EXPECT_EQ(delta.histogram("pmoctree.persist")->count, 3u);
+  ASSERT_NE(delta.histogram("pmoctree.persist.merge"), nullptr);
+  EXPECT_EQ(delta.histogram("pmoctree.persist.merge")->count, 3u);
+}
+#endif
+
 }  // namespace
 }  // namespace pmo::pmoctree

@@ -1,0 +1,234 @@
+// Tests for the telemetry subsystem: metric kinds, registry, span
+// nesting, snapshot deltas and the JSON exporters (including a
+// golden-file check of the stable export schema).
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace pmo::telemetry {
+namespace {
+
+// Everything that asserts on recorded values only holds when recording
+// is compiled in; under PMO_TELEMETRY=OFF every increment is a no-op by
+// design (see CompileGate below).
+#if PMO_TELEMETRY_ENABLED
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrements) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_EQ(g.value(), -3.25);
+}
+
+TEST(Histogram, BucketsByLog2) {
+  Histogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1: [1, 2)
+  h.record(2);    // bucket 2: [2, 4)
+  h.record(3);    // bucket 2
+  h.record(4);    // bucket 3: [4, 8)
+  h.record(100);  // bucket 7: [64, 128)
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(7), 1u);
+  EXPECT_NEAR(h.mean(), 110.0 / 6.0, 1e-12);
+}
+
+TEST(Histogram, PercentileBounds) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(1 << 20);
+  // p50 falls in bucket 1 (inclusive bound 1); the 2^20 value lands in
+  // bucket 21, whose inclusive bound is 2^21 - 1.
+  EXPECT_EQ(h.percentile_bound(0.5), 1u);
+  EXPECT_EQ(h.percentile_bound(1.0), (std::uint64_t{1} << 21) - 1);
+}
+
+TEST(Registry, FindOrCreateIsStable) {
+  Registry reg;
+  Counter& a = reg.counter("x.y");
+  a.add(7);
+  EXPECT_EQ(&reg.counter("x.y"), &a);
+  EXPECT_EQ(reg.counter("x.y").value(), 7u);
+}
+
+TEST(Registry, SnapshotAndDelta) {
+  Registry reg;
+  reg.counter("c").add(10);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").record(5);
+  const auto before = reg.snapshot();
+  reg.counter("c").add(5);
+  reg.gauge("g").set(9.0);
+  reg.histogram("h").record(7);
+  const auto after = reg.snapshot();
+  const auto delta = after.delta(before);
+  EXPECT_EQ(delta.counter("c"), 5u);
+  EXPECT_EQ(delta.gauge("g"), 9.0);  // gauges keep the newer value
+  ASSERT_NE(delta.histogram("h"), nullptr);
+  EXPECT_EQ(delta.histogram("h")->count, 1u);
+  EXPECT_EQ(delta.histogram("h")->sum, 7u);
+}
+
+TEST(Registry, SourceRefreshesOnSnapshotAndUnregisters) {
+  Registry reg;
+  int calls = 0;
+  {
+    auto src = reg.register_source([&calls](Registry& r) {
+      ++calls;
+      r.gauge("pull.value").set(static_cast<double>(calls));
+    });
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(snap.gauge("pull.value"), 1.0);
+  }
+  reg.snapshot();  // handle dead: callback must not run again
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Span, RecordsDurationHistogram) {
+  Registry reg;
+  { Span s(reg, "op"); }
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.histogram("op"), nullptr);
+  EXPECT_EQ(snap.histogram("op")->count, 1u);
+}
+
+TEST(Span, NestsByDotPath) {
+  Registry reg;
+  EXPECT_EQ(Span::current_path(), "");
+  {
+    Span outer(reg, "persist");
+    EXPECT_EQ(Span::current_path(), "persist");
+    {
+      Span inner(reg, "merge");
+      EXPECT_EQ(Span::current_path(), "persist.merge");
+      { Span leaf(reg, "copy"); }
+    }
+    EXPECT_EQ(Span::current_path(), "persist");
+  }
+  EXPECT_EQ(Span::current_path(), "");
+  const auto snap = reg.snapshot();
+  EXPECT_NE(snap.histogram("persist"), nullptr);
+  EXPECT_NE(snap.histogram("persist.merge"), nullptr);
+  EXPECT_NE(snap.histogram("persist.merge.copy"), nullptr);
+}
+
+#endif  // PMO_TELEMETRY_ENABLED
+
+TEST(JsonValue, RoundTripsThroughDumpAndParse) {
+  namespace json = pmo::telemetry::json;
+  json::Value root = json::Value::object();
+  root["int"] = 42;
+  root["neg"] = -7;
+  root["float"] = 2.5;
+  root["flag"] = true;
+  root["name"] = "pm\"octree\"\n";
+  json::Value arr = json::Value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  root["arr"] = std::move(arr);
+  const std::string text = root.dump();
+  std::string err;
+  const auto back = json::Value::parse(text, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->dump(), text);  // dump is a fixed point
+  EXPECT_EQ(back->find("int")->as_double(), 42.0);
+  EXPECT_EQ(back->find("name")->as_string(), "pm\"octree\"\n");
+  EXPECT_EQ(back->find("arr")->size(), 2u);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  namespace json = pmo::telemetry::json;
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2"}) {
+    std::string err;
+    EXPECT_FALSE(json::Value::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+#if PMO_TELEMETRY_ENABLED
+// The export schema is stable: a snapshot with one metric of each kind
+// must serialize byte-for-byte like the checked-in golden file. If this
+// fails because the schema deliberately changed, regenerate the golden
+// by dumping write_json() of exactly the registry below into
+// tests/data/telemetry_golden.json — and audit every BENCH_*.json
+// consumer first.
+TEST(Export, MatchesGoldenFile) {
+  Registry reg;
+  reg.counter("nvbm.writes").add(12345);
+  reg.gauge("nvbm.mean_wear").set(1.5);
+  auto& h = reg.histogram("pmoctree.persist");
+  h.record(100);
+  h.record(100000);
+  const auto snap = reg.snapshot();
+  std::ostringstream out;
+  write_json(snap, out);
+
+  const std::string golden_path =
+      std::string(PMO_TEST_DATA_DIR) + "/telemetry_golden.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.is_open()) << "missing " << golden_path;
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(out.str(), want.str());
+}
+#endif  // PMO_TELEMETRY_ENABLED
+
+TEST(Export, TableListsEveryMetric) {
+  Registry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge").set(0.5);
+  reg.histogram("c.hist").record(9);
+  std::ostringstream out;
+  write_table(reg.snapshot(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("b.gauge"), std::string::npos);
+  EXPECT_NE(text.find("c.hist"), std::string::npos);
+}
+
+#if PMO_TELEMETRY_ENABLED
+TEST(CompileGate, EnabledReportsTrue) { EXPECT_TRUE(enabled()); }
+#else
+TEST(CompileGate, DisabledDropsIncrements) {
+  EXPECT_FALSE(enabled());
+  Counter c;
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace pmo::telemetry
