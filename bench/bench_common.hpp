@@ -6,6 +6,7 @@
 // *real* workload (the cluster simulator's `scale` handles the rest).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include "cluster/cluster_sim.hpp"
 #include "common/stats.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pmo::bench {
 
@@ -60,12 +62,18 @@ inline const char* backend_name(Backend b) {
 /// A backend bundle owning its devices (order matters for destruction).
 /// `source` keeps the device registered as a pull-mode telemetry source:
 /// every registry snapshot republishes its access/wear counters under
-/// "nvbm.*" (the handle unregisters the device on bundle destruction).
+/// "nvbm.*". On bundle destruction the handle unregisters the device AND
+/// drops the published "nvbm." gauges, so back-to-back bundles in one
+/// process never double-report a dead device's last values.
+/// `wear_section` keeps the device's wear heatmap in trace files / bench
+/// reports; it freezes the final heatmap when the bundle dies, so even a
+/// scoped bundle (sec56's scenarios) shows up in the end-of-run export.
 struct Bundle {
   std::unique_ptr<nvbm::Device> device;
   std::unique_ptr<amr::MeshBackend> mesh;
   amr::PmOctreeBackend* pm = nullptr;  // set when the mesh is PM-octree
   telemetry::Registry::Source source;
+  telemetry::trace::Section wear_section;
 };
 
 /// Per-backend knobs for make_bundle. Only the field matching the chosen
@@ -107,7 +115,12 @@ inline Bundle make_bundle(Backend kind, std::size_t capacity,
   }
   nvbm::Device* dev = b.device.get();
   b.source = telemetry::Registry::global().register_source(
-      [dev](telemetry::Registry& reg) { dev->publish(reg, "nvbm"); });
+      [dev](telemetry::Registry& reg) { dev->publish(reg, "nvbm"); },
+      [] { telemetry::Registry::global().drop_gauges("nvbm."); });
+  static std::atomic<int> bundle_seq{0};
+  b.wear_section = telemetry::trace::register_section(
+      "nvbm" + std::to_string(bundle_seq.fetch_add(1)),
+      [dev] { return dev->wear_heatmap_json(); });
   return b;
 }
 

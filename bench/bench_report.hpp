@@ -36,8 +36,10 @@ namespace pmo::bench {
 class BenchReport {
  public:
   /// `name` is the binary name (bench_<name>.json default path); argv is
-  /// scanned for `--json <path>`; other arguments are left alone (micro_ops
-  /// forwards its argv to google-benchmark afterwards).
+  /// scanned for `--json <path>` and `--trace <path>`; other arguments are
+  /// left alone (micro_ops forwards its argv to google-benchmark
+  /// afterwards). `--trace` starts a TraceSession covering the whole bench
+  /// run; write() exports it as Chrome trace-event JSON.
   BenchReport(std::string name, std::string title, int argc = 0,
               char** argv = nullptr)
       : name_(std::move(name)),
@@ -45,10 +47,17 @@ class BenchReport {
         path_("bench_" + name_ + ".json") {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--trace") trace_path_ = argv[i + 1];
+    }
+    if (!trace_path_.empty()) {
+      trace_ = std::make_unique<telemetry::trace::TraceSession>();
+      telemetry::trace::name_process(0, "bench " + name_);
     }
   }
 
   const std::string& json_path() const noexcept { return path_; }
+  const std::string& trace_path() const noexcept { return trace_path_; }
+  bool tracing() const noexcept { return trace_ != nullptr; }
 
   /// Prints the Table 2 banner (same as print_table2_header) so benches
   /// declare their title exactly once.
@@ -105,13 +114,18 @@ class BenchReport {
     root["table"] = std::move(table);
     root["metrics"] =
         telemetry::to_json(telemetry::Registry::global().snapshot());
+    // Wear heatmaps of every device the bench created (live or already
+    // destroyed — Sections freeze their last value). Always present so
+    // the schema validator can rely on the key.
+    root["wear_heatmaps"] = telemetry::trace::collect_sections();
     for (const auto& [k, v] : extras_) root[k] = v;
     return root;
   }
 
-  /// Serializes to json_path(). Returns false (with a message on stderr)
-  /// when the file cannot be written.
-  bool write() const {
+  /// Serializes to json_path() (and, with --trace, stops the trace
+  /// session and writes the Chrome trace JSON). Returns false (with a
+  /// message on stderr) when a file cannot be written.
+  bool write() {
     std::ofstream out(path_);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
@@ -119,6 +133,13 @@ class BenchReport {
     }
     out << to_json().dump() << "\n";
     std::printf("\njson: %s\n", path_.c_str());
+    if (trace_ != nullptr) {
+      if (!trace_->write_file(trace_path_)) return false;
+      std::printf("trace: %s (%zu events, %llu dropped)\n",
+                  trace_path_.c_str(), trace_->event_count(),
+                  static_cast<unsigned long long>(
+                      trace_->dropped_events()));
+    }
     return true;
   }
 
@@ -126,6 +147,8 @@ class BenchReport {
   std::string name_;
   std::string title_;
   std::string path_;
+  std::string trace_path_;
+  std::unique_ptr<telemetry::trace::TraceSession> trace_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
   std::unique_ptr<TablePrinter> printer_;

@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
       "Figure 3: overlap ratio & memory per 1000 octants (150 steps)",
       argc, argv);
   report.print_header();
+  // Compute slices (amr.step) stay on this thread's row; the PM backend
+  // reroutes persist work to its own "persist" row of the same process.
+  telemetry::trace::name_current_thread("compute");
 
   const double scale = bench_scale();
   const int steps = static_cast<int>(150 * std::min(1.0, scale));

@@ -251,7 +251,8 @@ int main(int argc, char** argv) {
       "micro_ops", "Micro-benchmarks: substrate operations", argc, argv);
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+    const std::string arg(argv[i]);
+    if ((arg == "--json" || arg == "--trace") && i + 1 < argc) {
       ++i;  // skip the flag and its path
       continue;
     }

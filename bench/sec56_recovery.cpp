@@ -13,6 +13,7 @@
 
 using namespace pmo;
 using namespace pmo::bench;
+namespace tr = pmo::telemetry::trace;
 
 int main(int argc, char** argv) {
   BenchReport report("sec56_recovery",
@@ -39,10 +40,16 @@ int main(int argc, char** argv) {
 
   // ---- in-core: full snapshot read + rebuild ------------------------------
   {
+    // Each recovery scenario gets its own trace track (pid), so the four
+    // timelines render side by side in Perfetto.
+    tr::TrackGuard track(1, 1);
+    tr::name_process(1, "scenario: in-core");
     auto bundle = make_incore(std::size_t{256} << 20, /*interval=*/2);
     amr::DropletWorkload wl(params);
     wl.initialize(*bundle.mesh);
     for (int s = 0; s < crash_step; ++s) wl.step(*bundle.mesh, s);
+    tr::audit("bench.crash", {{"step", static_cast<double>(crash_step)},
+                              {"scenario", 1}});
     const auto before = bundle.mesh->modeled_ns();
     PMO_CHECK(bundle.mesh->recover());
     // Per-rank recovery reads/rebuilds its share of the scaled mesh.
@@ -58,6 +65,8 @@ int main(int argc, char** argv) {
   // ---- PM-octree: same node ------------------------------------------------
   double pm_same_node_s = 0.0;
   {
+    tr::TrackGuard track(2, 1);
+    tr::name_process(2, "scenario: PM same-node");
     pmoctree::PmConfig pm;
     pm.dram_budget_bytes = 4 << 20;
     auto bundle = make_pm(std::size_t{256} << 20, pm);
@@ -65,6 +74,8 @@ int main(int argc, char** argv) {
     register_droplet_feature(bundle, wl);
     wl.initialize(*bundle.mesh);
     for (int s = 0; s < crash_step; ++s) wl.step(*bundle.mesh, s);
+    tr::audit("bench.crash", {{"step", static_cast<double>(crash_step)},
+                              {"scenario", 2}});
     const auto before = bundle.mesh->modeled_ns();
     PMO_CHECK(bundle.mesh->recover());
     // pm_restore is O(1): no scaling with mesh size (tombstoning and GC
@@ -79,6 +90,8 @@ int main(int argc, char** argv) {
 
   // ---- PM-octree: new node via replica --------------------------------------
   {
+    tr::TrackGuard track(3, 1);
+    tr::name_process(3, "scenario: PM new-node replica");
     pmoctree::PmConfig pm;
     pm.dram_budget_bytes = 4 << 20;
     pm.enable_replica = true;
@@ -87,6 +100,8 @@ int main(int argc, char** argv) {
     register_droplet_feature(bundle, wl);
     wl.initialize(*bundle.mesh);
     for (int s = 0; s < crash_step; ++s) wl.step(*bundle.mesh, s);
+    tr::audit("bench.crash", {{"step", static_cast<double>(crash_step)},
+                              {"scenario", 3}});
 
     nvbm::Device fresh(std::size_t{256} << 20, device_config());
     nvbm::Heap fresh_heap(fresh);
@@ -106,10 +121,14 @@ int main(int argc, char** argv) {
 
   // ---- out-of-core --------------------------------------------------------
   {
+    tr::TrackGuard track(4, 1);
+    tr::name_process(4, "scenario: out-of-core");
     auto bundle = make_etree(std::size_t{256} << 20);
     amr::DropletWorkload wl(params);
     wl.initialize(*bundle.mesh);
     for (int s = 0; s < crash_step; ++s) wl.step(*bundle.mesh, s);
+    tr::audit("bench.crash", {{"step", static_cast<double>(crash_step)},
+                              {"scenario", 4}});
     const auto before = bundle.mesh->modeled_ns();
     PMO_CHECK(bundle.mesh->recover());
     const double t = static_cast<double>(bundle.mesh->modeled_ns() -

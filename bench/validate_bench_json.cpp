@@ -112,6 +112,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Wear heatmaps: always present (possibly empty); each entry carries
+  // the per-address-range bucket array.
+  const Value* wear =
+      require(*doc, "wear_heatmaps", Value::Type::kObject, &err);
+  if (wear == nullptr) return fail(err);
+  for (const auto& [name, hm] : wear->members()) {
+    if (!hm.is_object() || hm.find("buckets") == nullptr ||
+        !hm.find("buckets")->is_array()) {
+      return fail("wear_heatmaps." + name + " missing buckets array");
+    }
+  }
+
   std::printf("ok: %s (%zu rows, %zu metric counters)\n", path.c_str(),
               rows->size(),
               metrics->find("counters")->members().size());

@@ -1,12 +1,82 @@
 #include "cluster/cluster_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <iterator>
+
+#include "telemetry/trace.hpp"
 
 namespace pmo::cluster {
 
 namespace {
+
+namespace tr = telemetry::trace;
+
+/// Simulated ranks beyond this many share no trace track (a 1024-rank
+/// point would otherwise swamp the ring buffers); the traced prefix is
+/// enough to *see* the step structure and imbalance.
+constexpr int kMaxTracedRanks = 8;
+
+/// Modeled rank timelines are laid out on a process-wide virtual clock
+/// that only moves forward, so several run() calls in one session (a
+/// bench sweeping procs) never overlap their slices on the reused rank
+/// pids.
+std::atomic<std::uint64_t> g_virtual_clock{0};
+
+std::uint64_t advance_virtual_clock(std::uint64_t end_ns) {
+  std::uint64_t cur = g_virtual_clock.load(std::memory_order_relaxed);
+  while (cur < end_ns &&
+         !g_virtual_clock.compare_exchange_weak(cur, end_ns,
+                                                std::memory_order_relaxed)) {
+  }
+  return std::max(cur, end_ns);
+}
+
+/// One modeled slice ('X') on a simulated rank's track.
+void emit_rank_slice(int rank, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                     std::string name) {
+  tr::TraceEvent ev;
+  ev.type = tr::EventType::kComplete;
+  ev.pid = tr::kTraceRankPidBase + static_cast<std::uint32_t>(rank);
+  ev.tid = 1;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.name = std::move(name);
+  ev.cat = "cluster";
+  tr::emit(std::move(ev));
+}
+
+void emit_rank_counter(std::uint64_t ts_ns, const char* name,
+                       double value) {
+  tr::TraceEvent ev;
+  ev.type = tr::EventType::kCounter;
+  ev.pid = tr::kTraceRankPidBase;
+  ev.tid = 1;
+  ev.ts_ns = ts_ns;
+  ev.name = name;
+  ev.cat = "counter";
+  ev.value = value;
+  tr::emit(std::move(ev));
+}
+
+void emit_rank_flow(bool begin, int rank, std::uint64_t ts_ns,
+                    std::uint64_t id) {
+  tr::TraceEvent ev;
+  ev.type = begin ? tr::EventType::kFlowBegin : tr::EventType::kFlowEnd;
+  ev.pid = tr::kTraceRankPidBase + static_cast<std::uint32_t>(rank);
+  ev.tid = 1;
+  ev.ts_ns = ts_ns;
+  ev.id = id;
+  ev.name = "step barrier";
+  ev.cat = "cluster";
+  tr::emit(std::move(ev));
+}
+
+std::uint64_t to_ns(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9);
+}
 
 /// Distributes a global routine time over ranks proportionally to the
 /// per-rank weights, scaled to the target element count.
@@ -52,6 +122,21 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
   // rank's subdomain: scale^(2/3) of the measured count.
   const double boundary_scale = std::pow(scale, 2.0 / 3.0);
 
+  // Modeled rank timelines: rank r renders as trace process
+  // kTraceRankPidBase + r on a forward-only virtual clock.
+  const bool tracing = tr::active();
+  const int traced = tracing ? std::min(procs, kMaxTracedRanks) : 0;
+  std::uint64_t base_ns = 0;
+  std::uint64_t pending_flow = 0;
+  if (tracing) {
+    base_ns = std::max(tr::now_ns(),
+                       g_virtual_clock.load(std::memory_order_relaxed));
+    for (int r = 0; r < traced; ++r) {
+      tr::name_process(tr::kTraceRankPidBase + static_cast<std::uint32_t>(r),
+                       "rank " + std::to_string(r));
+    }
+  }
+
   // Construct: embarrassingly parallel; each rank builds its share.
   const std::uint64_t construct_ns = wl.initialize(mesh);
   const double construct_s =
@@ -59,6 +144,12 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
       static_cast<double>(procs);
   routine_s[kConstruct] += construct_s;
   out.total_s += construct_s;
+  if (tracing) {
+    for (int r = 0; r < traced; ++r) {
+      emit_rank_slice(r, base_ns, to_ns(construct_s), "Construct");
+    }
+    base_ns += to_ns(construct_s);
+  }
 
   std::unordered_map<LocCode, int, LocCodeHash> prev_owner;
 
@@ -155,7 +246,57 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
     steps_counter->add();
     out.step_seconds.push_back(worst);
     out.total_s += worst;
+
+    if (tracing) {
+      // Critical rank within the traced prefix (the whole-step flow
+      // arrows attach to it; worst_rank itself may not be traced).
+      int crit = 0;
+      double crit_total = -1.0;
+      const auto rank_total = [&](int r) {
+        const auto ri = static_cast<std::size_t>(r);
+        return advect[ri] + refine[ri] + bal[ri] + solve[ri] +
+               persist[ri] + partit[ri];
+      };
+      for (int r = 0; r < traced; ++r) {
+        if (rank_total(r) > crit_total) {
+          crit_total = rank_total(r);
+          crit = r;
+        }
+      }
+      if (pending_flow != 0) {
+        emit_rank_flow(/*begin=*/false, crit, base_ns, pending_flow);
+        pending_flow = 0;
+      }
+      emit_rank_counter(base_ns, "cluster.imbalance", stats.imbalance);
+      emit_rank_counter(base_ns, "cluster.leaves",
+                        static_cast<double>(part.leaves.size()));
+      const std::string step_name = "step " + std::to_string(step);
+      for (int r = 0; r < traced; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        // Step wrapper first (same ts, earlier seq), then the routine
+        // slices laid end to end inside it. Durations truncate to whole
+        // nanoseconds, so the children never outrun the wrapper.
+        emit_rank_slice(r, base_ns, to_ns(rank_total(r)), step_name);
+        std::uint64_t cursor = base_ns;
+        const std::pair<const char*, double> parts[] = {
+            {"Advect", advect[ri]},   {"Refine&Coarsen", refine[ri]},
+            {"Balance", bal[ri]},     {"Solve", solve[ri]},
+            {"Persist", persist[ri]}, {"Partition", partit[ri]}};
+        for (const auto& [name, seconds] : parts) {
+          const std::uint64_t dur = to_ns(seconds);
+          emit_rank_slice(r, cursor, dur, name);
+          cursor += dur;
+        }
+      }
+      if (step < config_.steps - 1) {
+        pending_flow = tr::next_flow_id();
+        emit_rank_flow(/*begin=*/true, crit,
+                       base_ns + to_ns(rank_total(crit)), pending_flow);
+      }
+      base_ns += to_ns(worst);
+    }
   }
+  if (tracing) advance_virtual_clock(base_ns);
 
   for (std::size_t i = 0; i < kNRoutines; ++i) {
     reg.counter(kRoutineMetrics[i].metric)

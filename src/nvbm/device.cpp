@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timing.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pmo::nvbm {
 
@@ -59,6 +60,13 @@ void Device::mark_dirty(std::uint64_t offset, std::size_t len) {
   if (len == 0) return;
   const std::uint64_t first = offset / config_.cache_line;
   const std::uint64_t last = (offset + len - 1) / config_.cache_line;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const std::size_t b = std::min<std::size_t>(
+        static_cast<std::size_t>(line * config_.cache_line * kWearBuckets /
+                                 capacity_),
+        kWearBuckets - 1);
+    ++wear_buckets_[b];
+  }
   if (config_.crash_sim) {
     for (std::uint64_t line = first; line <= last; ++line)
       dirty_.insert(line);
@@ -142,6 +150,7 @@ void Device::flush_all() {
 std::size_t Device::simulate_crash(Rng& rng, double survive_p) {
   PMO_CHECK_MSG(config_.crash_sim,
                 "simulate_crash requires Config::crash_sim = true");
+  const std::size_t dirty_at_crash = dirty_.size();
   std::size_t lost = 0;
   for (const std::uint64_t line : dirty_) {
     const std::uint64_t begin = line * config_.cache_line;
@@ -157,6 +166,9 @@ std::size_t Device::simulate_crash(Rng& rng, double survive_p) {
   dirty_.clear();
   // Reboot: the CPU-visible image is whatever the medium holds.
   std::memcpy(working_.data(), durable_.data(), capacity_);
+  telemetry::trace::audit(
+      "nvbm.crash", {{"dirty_lines", static_cast<double>(dirty_at_crash)},
+                     {"lost_lines", static_cast<double>(lost)}});
   return lost;
 }
 
@@ -183,6 +195,25 @@ void Device::publish(telemetry::Registry& reg,
     gauge("max_wear", static_cast<double>(max_wear()));
     gauge("mean_wear", mean_wear());
   }
+}
+
+telemetry::json::Value Device::wear_heatmap_json() const {
+  auto out = telemetry::json::Value::object();
+  out["capacity"] = capacity_;
+  out["cache_line"] = config_.cache_line;
+  out["bucket_bytes"] = (capacity_ + kWearBuckets - 1) / kWearBuckets;
+  std::uint64_t total = 0;
+  std::uint64_t max_bucket = 0;
+  auto buckets = telemetry::json::Value::array();
+  for (const auto w : wear_buckets_) {
+    total += w;
+    max_bucket = std::max(max_bucket, w);
+    buckets.push_back(w);
+  }
+  out["total_line_writes"] = total;
+  out["max_bucket"] = max_bucket;
+  out["buckets"] = std::move(buckets);
+  return out;
 }
 
 std::uint64_t Device::max_wear() const noexcept {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -82,22 +83,31 @@ struct Counters {
 /// gives each simulated rank its own Device.
 class Device {
  public:
+  /// Address-range granularity of the always-on wear heatmap: the device
+  /// is split into this many equal byte ranges, each counting cache-line
+  /// writes. Coarse enough to cost one add per written line, fine enough
+  /// to show *where* the allocator/CoW layer hammers the medium.
+  static constexpr std::size_t kWearBuckets = 64;
+
   Device(std::size_t capacity, Config config);
 
   std::size_t capacity() const noexcept { return capacity_; }
   const Config& config() const noexcept { return config_; }
   const Counters& counters() const noexcept { return counters_; }
   /// Zeroes the access counters (a measurement-session boundary). Wear
-  /// counters intentionally SURVIVE this call: they model the physical
+  /// state intentionally SURVIVES this call — both the per-line counters
+  /// (track_wear) and the per-range wear buckets: they model the physical
   /// medium's endurance, which does not reset between experiments — the
   /// Fig. 11 / ablation_wear methodology depends on that. Tests that need
   /// a factory-fresh device use reset_all().
   void reset_counters() noexcept { counters_ = Counters{}; }
-  /// reset_counters() plus a wear-counter wipe (as if the DIMM were
-  /// replaced). Test-only semantics; a real device cannot un-wear.
+  /// reset_counters() plus a wipe of ALL wear state — per-line counters
+  /// and per-range wear buckets — as if the DIMM were replaced.
+  /// Test-only semantics; a real device cannot un-wear.
   void reset_all() noexcept {
     reset_counters();
     std::fill(wear_.begin(), wear_.end(), 0u);
+    wear_buckets_.fill(0);
   }
 
   /// Reads `len` bytes at `offset` into `dst`, charging read latency.
@@ -155,6 +165,16 @@ class Device {
   /// Mean per-line write count over lines ever written.
   double mean_wear() const noexcept;
 
+  /// Per-address-range line-write counts (the wear heatmap), always on.
+  const std::array<std::uint64_t, kWearBuckets>& wear_buckets()
+      const noexcept {
+    return wear_buckets_;
+  }
+  /// The heatmap as JSON: {capacity, cache_line, bucket_bytes,
+  /// total_line_writes, max_bucket, buckets: [u64 x kWearBuckets]}.
+  /// Embedded in trace files ("wear_heatmaps" section) and bench reports.
+  telemetry::json::Value wear_heatmap_json() const;
+
   /// Publishes the device's access/wear counters into `reg` as gauges
   /// under `prefix` ("nvbm" -> "nvbm.writes", "nvbm.max_wear", ...).
   /// Typically installed as a pull-mode registry source so every snapshot
@@ -175,6 +195,7 @@ class Device {
   std::vector<std::byte> durable_;  ///< only when crash_sim
   std::unordered_set<std::uint64_t> dirty_;  ///< dirty line indices
   std::vector<std::uint32_t> wear_;          ///< only when track_wear
+  std::array<std::uint64_t, kWearBuckets> wear_buckets_{};
   Counters counters_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/trace.hpp"
+
 namespace pmo::pmoctree {
 
 namespace {
@@ -63,11 +65,17 @@ PmOctree PmOctree::create_from(nvbm::Heap& heap, const octree::Octree& src,
 }
 
 bool PmOctree::can_restore(nvbm::Heap& heap) {
-  return heap.root(kPrevRootSlot) != 0;
+  const bool ok = heap.root(kPrevRootSlot) != 0;
+  telemetry::trace::audit("pmoctree.can_restore",
+                          {{"ok", ok ? 1.0 : 0.0}});
+  return ok;
 }
 
 PmOctree PmOctree::restore(nvbm::Heap& heap, PmConfig config) {
   telemetry::Span span("pmoctree.restore");
+  telemetry::trace::audit(
+      "pmoctree.restore",
+      {{"epoch", static_cast<double>(heap.root(kEpochSlot))}});
   PmOctree tree(heap, config);
   const std::uint64_t root_off = heap.root(kPrevRootSlot);
   PMO_CHECK_MSG(root_off != 0, "pm_restore: no persisted version in heap");
@@ -243,6 +251,8 @@ NodeRef PmOctree::make_mutable(Path& path, std::size_t i) {
   // the parent mutable and relink. The shared original stays untouched for
   // V_{i-1}.
   tm_.cow_copies->add();
+  telemetry::trace::instant("pmoctree.cow_copy", "pmoctree",
+                            {{"depth", static_cast<double>(i)}});
   NodeRef parent_ref;
   if (i > 0) parent_ref = make_mutable(path, i - 1);
 
@@ -894,6 +904,11 @@ PersistStats PmOctree::persist() {
   const NodeRef old_prev = prev_root_;
   heap_.set_root(kPrevRootSlot, new_prev.nvbm_offset());
   heap_.set_root(kEpochSlot, epoch_);
+  telemetry::trace::instant(
+      "pmoctree.version_swap", "pmoctree",
+      {{"epoch", static_cast<double>(epoch_)},
+       {"delta_bytes", static_cast<double>(stats.delta_bytes)},
+       {"nodes_shared", static_cast<double>(stats.nodes_shared)}});
 
   // 3. Tombstone octants that existed only in the superseded version.
   //    When GC runs right away it reclaims them directly, so the explicit
@@ -995,6 +1010,8 @@ std::size_t PmOctree::gc() {
       [&](std::uint64_t off) { return live.count(off) != 0; });
   tm_.gc_sweeps->add();
   tm_.gc_freed->add(freed);
+  telemetry::trace::instant("pmoctree.gc", "pmoctree",
+                            {{"freed", static_cast<double>(freed)}});
   return freed;
 }
 
@@ -1189,6 +1206,12 @@ TransformStats PmOctree::transform_with(SampleCensus& buckets) {
   if (out.transformed) tm_.transform_runs->add();
   tm_.transform_moved_to_dram->add(out.moved_to_dram);
   tm_.transform_evicted_to_nvbm->add(out.evicted_to_nvbm);
+  if (out.transformed) {
+    telemetry::trace::instant(
+        "pmoctree.transform", "pmoctree",
+        {{"moved_to_dram", static_cast<double>(out.moved_to_dram)},
+         {"evicted_to_nvbm", static_cast<double>(out.evicted_to_nvbm)}});
+  }
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "pmoctree/replica.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace pmo::pmoctree {
 
 Delta ReplicaManager::extract(PmOctree& tree) {
@@ -83,6 +85,9 @@ std::size_t ReplicaStore::restore_into(nvbm::Heap& heap) const {
   PMO_CHECK_MSG(root_it != relocation.end(), "replica root missing");
   heap.set_root(PmOctree::kPrevRootSlot, root_it->second);
   heap.set_root(PmOctree::kEpochSlot, 1);
+  telemetry::trace::audit(
+      "replica.restore_into",
+      {{"octants", static_cast<double>(mirror_.size())}});
   return mirror_.size();
 }
 

@@ -1,0 +1,169 @@
+#include "telemetry/events.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace pmo::telemetry::trace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+namespace {
+
+/// Microseconds with fixed 3-decimal (nanosecond) precision: integer
+/// arithmetic only, so the formatting is deterministic across platforms.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+/// Mirrors json::Value number formatting: integers exactly, doubles %.10g.
+void append_number(std::string& out, double v) {
+  char buf[40];
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+char phase_letter(EventType t) noexcept {
+  switch (t) {
+    case EventType::kBegin: return 'B';
+    case EventType::kEnd: return 'E';
+    case EventType::kComplete: return 'X';
+    case EventType::kInstant: return 'i';
+    case EventType::kCounter: return 'C';
+    case EventType::kFlowBegin: return 's';
+    case EventType::kFlowEnd: return 'f';
+  }
+  return '?';
+}
+
+void TraceEvent::dump_chrome(std::string& out) const {
+  out += "{\"name\":";
+  append_json_string(out, name);
+  out += ",\"cat\":";
+  append_json_string(out, cat.empty() ? "app" : cat);
+  out += ",\"ph\":\"";
+  out.push_back(phase_letter(type));
+  out += "\",\"ts\":";
+  append_us(out, ts_ns);
+  out += ",\"pid\":";
+  append_number(out, static_cast<double>(pid));
+  out += ",\"tid\":";
+  append_number(out, static_cast<double>(tid));
+  if (type == EventType::kComplete) {
+    out += ",\"dur\":";
+    append_us(out, dur_ns);
+  }
+  if (type == EventType::kInstant) {
+    out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (type == EventType::kFlowBegin || type == EventType::kFlowEnd) {
+    out += ",\"id\":";
+    append_number(out, static_cast<double>(id));
+  }
+  const bool counter = type == EventType::kCounter;
+  if (counter || !args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    if (counter) {
+      out += "\"value\":";
+      append_number(out, value);
+      first = false;
+    }
+    for (const auto& [k, v] : args) {
+      if (!first) out.push_back(',');
+      append_json_string(out, k);
+      out.push_back(':');
+      append_number(out, v);
+      first = false;
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+}
+
+// ---------------------------------------------------------------------------
+// EventBuffer
+// ---------------------------------------------------------------------------
+
+EventBuffer::EventBuffer(std::size_t capacity) : capacity_(capacity) {
+  PMO_CHECK_MSG(capacity > 0, "trace buffer capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void EventBuffer::push(TraceEvent ev) {
+  std::lock_guard lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[pushed_ % capacity_] = std::move(ev);
+  }
+  ++pushed_;
+}
+
+std::uint64_t EventBuffer::pushed() const {
+  std::lock_guard lk(mu_);
+  return pushed_;
+}
+
+std::uint64_t EventBuffer::dropped() const {
+  std::lock_guard lk(mu_);
+  return pushed_ > capacity_ ? pushed_ - capacity_ : 0;
+}
+
+std::vector<TraceEvent> EventBuffer::drain() const {
+  std::lock_guard lk(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (pushed_ <= capacity_) {
+    out = ring_;
+  } else {
+    // The ring wrapped: the oldest retained event sits at pushed_ %
+    // capacity_ (the next overwrite position).
+    const std::size_t head = pushed_ % capacity_;
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+void EventBuffer::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+  pushed_ = 0;
+}
+
+}  // namespace pmo::telemetry::trace

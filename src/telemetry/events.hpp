@@ -1,0 +1,98 @@
+// Trace event model and per-thread ring buffers.
+//
+// The timeline layer (trace.hpp) records *events*, not aggregates: where a
+// telemetry::Histogram collapses ten thousand persist() calls into one
+// log2 distribution, a TraceEvent keeps each call's begin/end timestamps
+// so the compute/persist overlap and per-routine timelines the paper
+// argues about (Figs. 3 and 7) can actually be *seen* in
+// chrome://tracing / Perfetto.
+//
+// Events are the Chrome trace-event vocabulary:
+//  * kBegin/kEnd   — a duration slice on one track ('B'/'E')
+//  * kComplete     — a slice with an explicit duration ('X'); used by the
+//                    cluster simulator, whose timelines are modeled, not
+//                    measured
+//  * kInstant      — a point marker ('i'): version swap, CoW copy, GC
+//  * kCounter      — a sampled value series ('C')
+//  * kFlowBegin/kFlowEnd — a flow arrow between slices on different
+//                    tracks ('s'/'f'): cross-rank handoffs
+//
+// EventBuffer is a fixed-capacity ring: when a session outlives its
+// budget the *oldest* events are overwritten (the tail of a run is what
+// you debug) and the drop count is surfaced in the export metadata, never
+// silently lost.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmo::telemetry::trace {
+
+enum class EventType : std::uint8_t {
+  kBegin,      ///< 'B' duration-slice open
+  kEnd,        ///< 'E' duration-slice close
+  kComplete,   ///< 'X' slice with explicit dur_ns
+  kInstant,    ///< 'i' point event (thread-scoped)
+  kCounter,    ///< 'C' counter sample (value)
+  kFlowBegin,  ///< 's' flow-arrow start (id)
+  kFlowEnd,    ///< 'f' flow-arrow end (id)
+};
+
+/// Chrome "ph" letter for an event type.
+char phase_letter(EventType t) noexcept;
+
+/// Appends `s` as a quoted JSON string, escaping like telemetry::json so
+/// trace files and bench reports agree byte-for-byte on string handling.
+void append_json_string(std::string& out, const std::string& s);
+
+struct TraceEvent {
+  EventType type = EventType::kInstant;
+  std::uint32_t pid = 0;   ///< track process (simulated rank / scenario)
+  std::uint32_t tid = 0;   ///< track thread within the pid
+  std::uint64_t ts_ns = 0;   ///< session-relative nanoseconds
+  std::uint64_t dur_ns = 0;  ///< kComplete only
+  std::uint64_t id = 0;      ///< kFlowBegin/kFlowEnd pairing id
+  double value = 0.0;        ///< kCounter sample
+  std::uint64_t seq = 0;     ///< global emit order (drain tie-break)
+  std::string name;
+  std::string cat;
+  /// Extra "args" members (numeric only — enough for epochs, counts,
+  /// audit sequence numbers).
+  std::vector<std::pair<std::string, double>> args;
+
+  /// Appends this event as one compact Chrome trace-event JSON object
+  /// (no trailing newline). Timestamps are exported in microseconds with
+  /// fixed 3-decimal nanosecond precision, so output is deterministic.
+  void dump_chrome(std::string& out) const;
+};
+
+/// Fixed-capacity ring of trace events. Single logical producer (the
+/// owning thread) but push/drain are mutex-guarded so the session drain
+/// and a straggling producer cannot race; the uncontended lock cost is
+/// noise next to the string work of building an event.
+class EventBuffer {
+ public:
+  explicit EventBuffer(std::size_t capacity);
+
+  /// Appends; overwrites the oldest event when full.
+  void push(TraceEvent ev);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t pushed() const;
+  /// Events lost to wraparound (pushed - retained).
+  std::uint64_t dropped() const;
+  /// Copies the retained events, oldest first.
+  std::vector<TraceEvent> drain() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace pmo::telemetry::trace

@@ -5,9 +5,11 @@
 #include <ostream>
 
 #include "common/stats.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pmo::telemetry {
 
+#if PMO_TELEMETRY_ENABLED
 namespace {
 
 std::uint64_t wall_ns() noexcept {
@@ -20,6 +22,7 @@ std::uint64_t wall_ns() noexcept {
 thread_local std::string t_span_path;
 
 }  // namespace
+#endif
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -158,36 +161,60 @@ Registry::Source& Registry::Source::operator=(Source&& o) noexcept {
     reset();
     reg_ = o.reg_;
     id_ = o.id_;
+    cleanup_ = std::move(o.cleanup_);
     o.reg_ = nullptr;
     o.id_ = 0;
+    o.cleanup_ = nullptr;
   }
   return *this;
 }
 
 void Registry::Source::reset() {
   if (reg_ == nullptr) return;
-  std::lock_guard lk(reg_->mu_);
-  auto& sources = reg_->sources_;
-  for (auto it = sources.begin(); it != sources.end(); ++it) {
-    if (it->first == id_) {
-      sources.erase(it);
-      break;
+  {
+    std::lock_guard lk(reg_->mu_);
+    auto& sources = reg_->sources_;
+    for (auto it = sources.begin(); it != sources.end(); ++it) {
+      if (it->first == id_) {
+        sources.erase(it);
+        break;
+      }
     }
   }
   reg_ = nullptr;
   id_ = 0;
+  if (cleanup_) {
+    // Outside the lock: the cleanup typically calls back into the
+    // registry (drop_gauges).
+    auto fn = std::move(cleanup_);
+    cleanup_ = nullptr;
+    fn();
+  }
 }
 
 Registry::Source Registry::register_source(
-    std::function<void(Registry&)> fill) {
+    std::function<void(Registry&)> fill, std::function<void()> cleanup) {
   Source handle;
   handle.reg_ = this;
+  handle.cleanup_ = std::move(cleanup);
   {
     std::lock_guard lk(mu_);
     handle.id_ = next_source_++;
     sources_.emplace_back(handle.id_, std::move(fill));
   }
   return handle;
+}
+
+void Registry::drop_gauges(std::string_view prefix) {
+  std::lock_guard lk(mu_);
+  for (auto it = gauges_.begin(); it != gauges_.end();) {
+    if (it->first.size() >= prefix.size() &&
+        it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = gauges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Registry::refresh_sources() {
@@ -244,11 +271,18 @@ Span::Span(Registry& reg, std::string_view name)
   } else {
     t_span_path.append(1, '.').append(name);
   }
+  if (trace::active()) {
+    trace::begin(t_span_path);
+    traced_ = true;
+  }
 }
 
 Span::~Span() {
   const std::uint64_t elapsed = wall_ns() - start_ns_;
   reg_.histogram(t_span_path).record(elapsed);
+  // Only close a slice we opened, and only into the *same* session — a
+  // session started or stopped mid-span must not see half a pair.
+  if (traced_ && trace::active()) trace::end(t_span_path);
   t_span_path = std::move(prev_path_);
 }
 
@@ -256,11 +290,15 @@ const std::string& Span::current_path() { return t_span_path; }
 
 #else
 
+// Fully self-contained disabled-build stub: no thread-local path is kept
+// (and none is compiled in), so a PMO_TELEMETRY=OFF TU needs nothing from
+// the enabled implementation.
 Span::Span(Registry&, std::string_view) {}
 Span::~Span() = default;
 
 const std::string& Span::current_path() {
-  return t_span_path;  // always empty in disabled builds
+  static const std::string empty;
+  return empty;
 }
 
 #endif

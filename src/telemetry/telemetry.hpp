@@ -181,10 +181,23 @@ class Registry {
     friend class Registry;
     Registry* reg_ = nullptr;
     std::uint64_t id_ = 0;
+    /// Runs once when the handle dies (after unregistering, outside the
+    /// registry lock). Stored in the handle — not the registry — so
+    /// Registry::clear() cannot orphan it. Typical use: drop the gauges
+    /// the source published, so a later snapshot doesn't keep reporting a
+    /// dead object's last values (see bench_common::make_bundle).
+    std::function<void()> cleanup_;
   };
-  Source register_source(std::function<void(Registry&)> fill);
+  Source register_source(std::function<void(Registry&)> fill,
+                         std::function<void()> cleanup = {});
   /// Runs every registered source callback (snapshot() does this itself).
   void refresh_sources();
+
+  /// Erases every gauge whose name starts with `prefix`. Counters and
+  /// histograms are left alone (they are cumulative by contract); gauges
+  /// are last-written values, so a gauge outliving its writer reports a
+  /// ghost. Invalidates cached Gauge references under the prefix.
+  void drop_gauges(std::string_view prefix);
 
   Snapshot snapshot();
 
@@ -225,6 +238,7 @@ class Span {
   Registry& reg_;
   std::string prev_path_;  ///< parent path to restore on exit
   std::uint64_t start_ns_;
+  bool traced_ = false;  ///< emitted a trace begin (session was active)
 #endif
 };
 

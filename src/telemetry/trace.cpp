@@ -1,0 +1,623 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace pmo::telemetry::trace {
+
+namespace detail {
+std::atomic<bool> g_active{false};
+}
+
+namespace {
+
+// Track overrides exist in both build modes: TrackGuard must behave
+// identically whether or not recording is compiled in.
+thread_local bool t_track_overridden = false;
+thread_local TrackId t_track{};
+
+#if PMO_TELEMETRY_ENABLED
+std::uint64_t wall_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+#endif
+
+}  // namespace
+
+TrackGuard::TrackGuard(std::uint32_t pid, std::uint32_t tid) noexcept
+    : prev_(t_track), prev_overridden_(t_track_overridden) {
+  t_track = TrackId{pid, tid};
+  t_track_overridden = true;
+}
+
+TrackGuard::~TrackGuard() {
+  t_track = prev_;
+  t_track_overridden = prev_overridden_;
+}
+
+// ---------------------------------------------------------------------------
+// sections (always compiled: wear heatmaps are counters, not tracing, so
+// bench reports keep them even under PMO_TELEMETRY=OFF)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SectionEntry {
+  std::uint64_t id = 0;
+  std::string name;
+  std::function<json::Value()> fn;
+};
+
+struct Sections {
+  std::mutex mu;
+  std::uint64_t next_id = 1;
+  std::vector<SectionEntry> live;
+  std::vector<std::pair<std::string, json::Value>> frozen;
+};
+
+Sections& sections() {
+  static auto* s = new Sections;  // leaked: usable during static teardown
+  return *s;
+}
+
+}  // namespace
+
+Section& Section::operator=(Section&& o) noexcept {
+  if (this != &o) {
+    reset();
+    id_ = o.id_;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+void Section::reset() {
+  if (id_ == 0) return;
+  auto& s = sections();
+  SectionEntry taken;
+  {
+    std::lock_guard lk(s.mu);
+    for (auto it = s.live.begin(); it != s.live.end(); ++it) {
+      if (it->id == id_) {
+        taken = std::move(*it);
+        s.live.erase(it);
+        break;
+      }
+    }
+  }
+  id_ = 0;
+  if (!taken.fn) return;
+  // Evaluate outside the lock (the provider may allocate, never should it
+  // deadlock against another section call), then freeze the final value.
+  json::Value v = taken.fn();
+  std::lock_guard lk(s.mu);
+  s.frozen.emplace_back(std::move(taken.name), std::move(v));
+}
+
+Section register_section(std::string name, std::function<json::Value()> fn) {
+  auto& s = sections();
+  Section handle;
+  std::lock_guard lk(s.mu);
+  handle.id_ = s.next_id++;
+  s.live.push_back({handle.id_, std::move(name), std::move(fn)});
+  return handle;
+}
+
+json::Value collect_sections() {
+  auto& s = sections();
+  std::vector<SectionEntry> live_copy;
+  std::vector<std::pair<std::string, json::Value>> values;
+  {
+    std::lock_guard lk(s.mu);
+    live_copy = s.live;
+    values = s.frozen;
+  }
+  for (const auto& e : live_copy) values.emplace_back(e.name, e.fn());
+  std::sort(values.begin(), values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  json::Value out = json::Value::object();
+  for (auto& [name, v] : values) out[name] = std::move(v);
+  return out;
+}
+
+void clear_sections() {
+  auto& s = sections();
+  std::lock_guard lk(s.mu);
+  s.live.clear();
+  s.frozen.clear();
+}
+
+// ---------------------------------------------------------------------------
+// recording machinery
+// ---------------------------------------------------------------------------
+
+#if PMO_TELEMETRY_ENABLED
+
+namespace {
+
+struct Collector {
+  std::mutex mu;
+  std::uint64_t generation = 0;  ///< bumped per session (guarded by mu)
+  std::size_t capacity = kDefaultBufferCapacity;
+  std::uint64_t t0_ns = 0;
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  std::map<std::uint32_t, std::string> process_names;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+      thread_names;
+  std::atomic<std::uint64_t> generation_atomic{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> flow_ids{1};
+  std::atomic<std::uint64_t> audit_seq{1};
+};
+
+Collector& collector() {
+  static auto* c = new Collector;
+  return *c;
+}
+
+struct ThreadState {
+  std::shared_ptr<EventBuffer> buf;
+  std::uint64_t generation = 0;
+  std::uint32_t default_tid = 0;
+};
+thread_local ThreadState t_state;
+
+/// The calling thread's buffer for the current session, registering (and
+/// assigning the default tid) on first use. The shared_ptr keeps drained
+/// data alive even if the thread exits before the session stops.
+ThreadState& thread_state() {
+  auto& c = collector();
+  const auto gen =
+      c.generation_atomic.load(std::memory_order_acquire);
+  if (t_state.buf == nullptr || t_state.generation != gen) {
+    std::lock_guard lk(c.mu);
+    t_state.buf = std::make_shared<EventBuffer>(c.capacity);
+    c.buffers.push_back(t_state.buf);
+    t_state.default_tid = static_cast<std::uint32_t>(c.buffers.size());
+    t_state.generation = c.generation;
+  }
+  return t_state;
+}
+
+TraceEvent make_event(EventType type, std::string_view name,
+                      std::string_view cat) {
+  TraceEvent ev;
+  ev.type = type;
+  ev.name.assign(name);
+  ev.cat.assign(cat);
+  ev.ts_ns = now_ns();
+  const TrackId tr = current_track();
+  ev.pid = tr.pid;
+  ev.tid = tr.tid;
+  return ev;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  if (!active()) return 0;
+  const auto& c = collector();
+  const std::uint64_t now = wall_ns();
+  return now > c.t0_ns ? now - c.t0_ns : 0;
+}
+
+TrackId current_track() noexcept {
+  if (t_track_overridden) return t_track;
+  if (!active()) return TrackId{};
+  return TrackId{0, thread_state().default_tid};
+}
+
+void emit(TraceEvent ev) {
+  if (!active()) return;
+  auto& c = collector();
+  auto& ts = thread_state();
+  ev.seq = c.seq.fetch_add(1, std::memory_order_relaxed);
+  ts.buf->push(std::move(ev));
+}
+
+void begin(std::string_view name, std::string_view cat) {
+  if (!active()) return;
+  emit(make_event(EventType::kBegin, name, cat));
+}
+
+void end(std::string_view name, std::string_view cat) {
+  if (!active()) return;
+  emit(make_event(EventType::kEnd, name, cat));
+}
+
+void instant(std::string_view name, std::string_view cat, Args args) {
+  if (!active()) return;
+  TraceEvent ev = make_event(EventType::kInstant, name, cat);
+  for (const auto& [k, v] : args) ev.args.emplace_back(k, v);
+  emit(std::move(ev));
+}
+
+void counter(std::string_view name, double value) {
+  if (!active()) return;
+  TraceEvent ev = make_event(EventType::kCounter, name, "counter");
+  ev.value = value;
+  emit(std::move(ev));
+}
+
+void flow_begin(std::string_view name, std::uint64_t id) {
+  if (!active()) return;
+  TraceEvent ev = make_event(EventType::kFlowBegin, name, "flow");
+  ev.id = id;
+  emit(std::move(ev));
+}
+
+void flow_end(std::string_view name, std::uint64_t id) {
+  if (!active()) return;
+  TraceEvent ev = make_event(EventType::kFlowEnd, name, "flow");
+  ev.id = id;
+  emit(std::move(ev));
+}
+
+std::uint64_t next_flow_id() noexcept {
+  return collector().flow_ids.fetch_add(1, std::memory_order_relaxed);
+}
+
+void audit(std::string_view name, Args args) {
+  if (!active()) return;
+  auto& c = collector();
+  name_process(kRecoveryAuditPid, "recovery audit");
+  TraceEvent ev;
+  ev.type = EventType::kInstant;
+  ev.name.assign(name);
+  ev.cat = "recovery";
+  ev.ts_ns = now_ns();
+  ev.pid = kRecoveryAuditPid;
+  ev.tid = 1;
+  ev.args.emplace_back(
+      "audit_seq",
+      static_cast<double>(c.audit_seq.fetch_add(
+          1, std::memory_order_relaxed)));
+  for (const auto& [k, v] : args) ev.args.emplace_back(k, v);
+  emit(std::move(ev));
+}
+
+void name_process(std::uint32_t pid, const std::string& name) {
+  if (!active()) return;
+  auto& c = collector();
+  std::lock_guard lk(c.mu);
+  c.process_names[pid] = name;
+}
+
+void name_thread(std::uint32_t pid, std::uint32_t tid,
+                 const std::string& name) {
+  if (!active()) return;
+  auto& c = collector();
+  std::lock_guard lk(c.mu);
+  c.thread_names[{pid, tid}] = name;
+}
+
+void name_current_thread(const std::string& name) {
+  if (!active()) return;
+  const TrackId tr = current_track();
+  name_thread(tr.pid, tr.tid, name);
+}
+
+TraceSession::TraceSession() : TraceSession(Options()) {}
+
+TraceSession::TraceSession(Options opts) {
+  PMO_CHECK_MSG(opts.buffer_capacity > 0,
+                "trace buffer capacity must be positive");
+  auto& c = collector();
+  std::lock_guard lk(c.mu);
+  PMO_CHECK_MSG(!detail::g_active.load(std::memory_order_relaxed),
+                "a TraceSession is already active in this process");
+  ++c.generation;
+  c.generation_atomic.store(c.generation, std::memory_order_release);
+  c.capacity = opts.buffer_capacity;
+  c.buffers.clear();
+  c.process_names.clear();
+  c.thread_names.clear();
+  c.seq.store(0, std::memory_order_relaxed);
+  c.flow_ids.store(1, std::memory_order_relaxed);
+  c.audit_seq.store(1, std::memory_order_relaxed);
+  c.t0_ns = wall_ns();
+  detail::g_active.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() { stop(); }
+
+void TraceSession::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  auto& c = collector();
+  detail::g_active.store(false, std::memory_order_release);
+  // Producers must be quiesced by now (benches stop before writing; tests
+  // join their threads). The per-buffer mutex makes a straggler safe, at
+  // worst its event lands after the drain and is not exported.
+  std::lock_guard lk(c.mu);
+  buffers_ = c.buffers.size();
+  for (const auto& b : c.buffers) {
+    dropped_ += b->dropped();
+    auto evs = b->drain();
+    events_.insert(events_.end(), std::make_move_iterator(evs.begin()),
+                   std::make_move_iterator(evs.end()));
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                        : a.seq < b.seq;
+            });
+  process_names_.assign(c.process_names.begin(), c.process_names.end());
+  for (const auto& [key, name] : c.thread_names)
+    thread_names_.emplace_back(key, name);
+  c.buffers.clear();
+}
+
+#else  // !PMO_TELEMETRY_ENABLED
+
+std::uint64_t now_ns() noexcept { return 0; }
+
+TrackId current_track() noexcept {
+  return t_track_overridden ? t_track : TrackId{};
+}
+
+void emit(TraceEvent) {}
+void begin(std::string_view, std::string_view) {}
+void end(std::string_view, std::string_view) {}
+void instant(std::string_view, std::string_view, Args) {}
+void counter(std::string_view, double) {}
+void flow_begin(std::string_view, std::uint64_t) {}
+void flow_end(std::string_view, std::uint64_t) {}
+std::uint64_t next_flow_id() noexcept { return 0; }
+void audit(std::string_view, Args) {}
+void name_process(std::uint32_t, const std::string&) {}
+void name_thread(std::uint32_t, std::uint32_t, const std::string&) {}
+void name_current_thread(const std::string&) {}
+
+TraceSession::TraceSession() : TraceSession(Options()) {}
+TraceSession::TraceSession(Options) {}
+TraceSession::~TraceSession() = default;
+void TraceSession::stop() { stopped_ = true; }
+
+#endif  // PMO_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// export (both modes: an OFF build still writes a valid, empty trace)
+// ---------------------------------------------------------------------------
+
+void TraceSession::write(std::ostream& os) {
+  stop();
+  json::Value meta = json::Value::object();
+  meta["event_count"] = events_.size();
+  meta["dropped_events"] = dropped_;
+  meta["buffers"] = buffers_;
+  os << "{\n\"schema_version\": 1,\n\"displayTimeUnit\": \"ms\",\n";
+  os << "\"metadata\": " << meta.dump() << ",\n";
+  os << "\"wear_heatmaps\": " << collect_sections().dump() << ",\n";
+  os << "\"traceEvents\": [";
+  bool first = true;
+  std::string line;
+  const auto put = [&](const std::string& text) {
+    os << (first ? "\n" : ",\n") << text;
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    line = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    append_json_string(line, name);
+    line += "}}";
+    put(line);
+  }
+  for (const auto& [key, name] : thread_names_) {
+    line = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(key.first) +
+           ",\"tid\":" + std::to_string(key.second) +
+           ",\"args\":{\"name\":";
+    append_json_string(line, name);
+    line += "}}";
+    put(line);
+  }
+  for (const auto& ev : events_) {
+    line.clear();
+    ev.dump_chrome(line);
+    put(line);
+  }
+  os << "\n]\n}\n";
+}
+
+bool TraceSession::write_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write trace %s\n", path.c_str());
+    return false;
+  }
+  write(out);
+  return out.good();
+}
+
+// ---------------------------------------------------------------------------
+// validation
+// ---------------------------------------------------------------------------
+
+TraceCheck validate_chrome_trace(const json::Value& doc) {
+  TraceCheck out;
+  const auto fail = [&out](std::string msg) {
+    out.ok = false;
+    if (out.error.empty()) out.error = std::move(msg);
+  };
+  if (!doc.is_object()) {
+    fail("trace document is not an object");
+    return out;
+  }
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    fail("missing traceEvents array");
+    return out;
+  }
+  if (const json::Value* meta = doc.find("metadata");
+      meta != nullptr && meta->is_object()) {
+    if (const json::Value* d = meta->find("dropped_events");
+        d != nullptr && d->is_number()) {
+      out.dropped = static_cast<std::uint64_t>(d->as_double());
+    }
+  }
+
+  // Per-track slice stacks: an entry is either an open B (no end yet) or
+  // an X slice with a known end; X slices must nest by containment.
+  struct Frame {
+    std::string name;
+    bool open = false;  ///< B frame awaiting its E
+    double end_us = 0.0;
+  };
+  using Track = std::pair<std::uint64_t, std::uint64_t>;
+  std::map<Track, std::vector<Frame>> stacks;
+  std::map<Track, double> last_ts;
+  std::map<std::uint64_t, double> open_flows;
+  double last_audit_seq = 0.0;
+
+  const auto num_field = [](const json::Value& e, const char* key,
+                            double* v) {
+    const json::Value* f = e.find(key);
+    if (f == nullptr || !f->is_number()) return false;
+    *v = f->as_double();
+    return true;
+  };
+
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = events->at(i);
+    const auto at = [&] { return "traceEvents[" + std::to_string(i) + "]"; };
+    if (!e.is_object()) {
+      fail(at() + " is not an object");
+      continue;
+    }
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().empty()) {
+      fail(at() + " missing ph");
+      continue;
+    }
+    const char phase = ph->as_string()[0];
+    if (phase == 'M') continue;  // metadata carries no timestamp
+    ++out.events;
+    double ts = 0, pid = 0, tid = 0;
+    if (!num_field(e, "ts", &ts) || !num_field(e, "pid", &pid) ||
+        !num_field(e, "tid", &tid)) {
+      fail(at() + " missing ts/pid/tid");
+      continue;
+    }
+    const json::Value* namev = e.find("name");
+    const std::string name =
+        namev != nullptr && namev->is_string() ? namev->as_string() : "";
+    const Track track{static_cast<std::uint64_t>(pid),
+                      static_cast<std::uint64_t>(tid)};
+    const auto lt = last_ts.find(track);
+    if (lt != last_ts.end() && ts < lt->second) {
+      fail(at() + " timestamp regresses on its track");
+    }
+    last_ts[track] = ts;
+    auto& st = stacks[track];
+    // Retire X slices that ended at or before this timestamp. Exported
+    // timestamps are quantized to 0.001us, so half a nanosecond absorbs
+    // double-addition artifacts in ts + dur without hiding real overlap.
+    constexpr double kSliceEps = 5e-4;
+    while (!st.empty() && !st.back().open &&
+           st.back().end_us <= ts + kSliceEps) {
+      st.pop_back();
+    }
+    switch (phase) {
+      case 'B':
+        st.push_back(Frame{name, true, 0.0});
+        break;
+      case 'E':
+        if (st.empty() || !st.back().open) {
+          fail(at() + " E \"" + name + "\" without a matching open B");
+        } else if (!name.empty() && st.back().name != name) {
+          fail(at() + " E \"" + name + "\" closes B \"" + st.back().name +
+               "\" (bad nesting)");
+        } else {
+          st.pop_back();
+          ++out.slices;
+        }
+        break;
+      case 'X': {
+        double dur = 0;
+        if (!num_field(e, "dur", &dur)) {
+          fail(at() + " X slice missing dur");
+          break;
+        }
+        if (!st.empty() && !st.back().open &&
+            ts + dur > st.back().end_us + kSliceEps) {
+          fail(at() + " X \"" + name + "\" partially overlaps \"" +
+               st.back().name + "\"");
+        }
+        st.push_back(Frame{name, false, ts + dur});
+        ++out.slices;
+        break;
+      }
+      case 's': {
+        double id = 0;
+        if (!num_field(e, "id", &id)) {
+          fail(at() + " flow begin missing id");
+        } else {
+          open_flows[static_cast<std::uint64_t>(id)] = ts;
+        }
+        break;
+      }
+      case 'f': {
+        double id = 0;
+        if (!num_field(e, "id", &id)) {
+          fail(at() + " flow end missing id");
+          break;
+        }
+        const auto it = open_flows.find(static_cast<std::uint64_t>(id));
+        if (it == open_flows.end()) {
+          fail(at() + " flow end without a begin");
+        } else if (ts < it->second) {
+          fail(at() + " flow ends before it begins");
+        } else {
+          open_flows.erase(it);
+          ++out.flows;
+        }
+        break;
+      }
+      case 'i':
+      case 'C':
+        break;
+      default:
+        fail(at() + std::string(" unknown phase '") + phase + "'");
+    }
+    const json::Value* cat = e.find("cat");
+    if (cat != nullptr && cat->is_string() &&
+        cat->as_string() == "recovery") {
+      ++out.audit_events;
+      double seq = 0;
+      const json::Value* args = e.find("args");
+      if (args == nullptr || !args->is_object() ||
+          !num_field(*args, "audit_seq", &seq)) {
+        fail(at() + " recovery event missing audit_seq");
+      } else if (seq <= last_audit_seq) {
+        fail(at() + " recovery audit events out of causal order");
+      } else {
+        last_audit_seq = seq;
+      }
+    }
+  }
+  for (const auto& [track, st] : stacks) {
+    for (const auto& f : st) {
+      if (f.open) {
+        fail("unclosed B slice \"" + f.name + "\" on pid " +
+             std::to_string(track.first) + " tid " +
+             std::to_string(track.second));
+      }
+    }
+  }
+  if (!open_flows.empty()) fail("flow begin without a matching end");
+  out.tracks = last_ts.size();
+  return out;
+}
+
+}  // namespace pmo::telemetry::trace

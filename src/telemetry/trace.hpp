@@ -1,0 +1,230 @@
+// Event-timeline tracing: Chrome-trace / Perfetto export on top of the
+// metrics registry.
+//
+// Design goals, in order:
+//  1. ~Zero cost when off. The whole layer compiles to no-ops under
+//     PMO_TELEMETRY=OFF, and with telemetry on it is additionally gated
+//     by a *runtime* flag (a TraceSession being alive): every emitter's
+//     first instruction is one relaxed atomic load.
+//  2. Timelines, not aggregates. telemetry::Span keeps recording its
+//     histogram; while a session is active it *additionally* emits
+//     begin/end events, so the same instrumentation yields both views.
+//  3. One file a human can open. TraceSession::write() streams Chrome
+//     trace-event JSON (the "JSON object format") that loads directly in
+//     chrome://tracing or https://ui.perfetto.dev, with process/thread
+//     names for the simulated-rank tracks and the recovery audit track,
+//     plus repo-specific sections (NVBM wear heatmaps) that Perfetto
+//     ignores and our tools read.
+//
+// Track model: (pid, tid) pairs. pid 0 is the real process (wall-clock
+// spans); cluster::ClusterSim maps simulated rank r to pid
+// kTraceRankPidBase + r with *modeled* timestamps; recovery audit events
+// are pinned to kRecoveryAuditPid so crash -> can_restore -> restore ->
+// restore_into reads as one causally-ordered track (each audit event
+// carries a monotonically increasing "audit_seq" arg, checked by
+// validate_chrome_trace / tools/trace2summary).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/events.hpp"
+#include "telemetry/json.hpp"
+
+#ifndef PMO_TELEMETRY_ENABLED
+#define PMO_TELEMETRY_ENABLED 1
+#endif
+
+namespace pmo::telemetry::trace {
+
+/// Simulated-rank tracks: rank r renders as process kTraceRankPidBase+r.
+inline constexpr std::uint32_t kTraceRankPidBase = 1000;
+/// One process-wide track for the recovery audit log.
+inline constexpr std::uint32_t kRecoveryAuditPid = 900;
+/// Default per-thread ring capacity (events).
+inline constexpr std::size_t kDefaultBufferCapacity = std::size_t{1} << 18;
+
+namespace detail {
+extern std::atomic<bool> g_active;
+}
+
+/// True while a TraceSession is recording (always false when compiled
+/// with PMO_TELEMETRY=OFF). The one check every emitter makes first.
+inline bool active() noexcept {
+#if PMO_TELEMETRY_ENABLED
+  return detail::g_active.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+struct TrackId {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Session-relative wall-clock nanoseconds (0 when no session is active).
+std::uint64_t now_ns() noexcept;
+
+/// The track events from this thread currently land on. Defaults to
+/// pid 0 / a per-thread tid; overridden by TrackGuard.
+TrackId current_track() noexcept;
+
+/// Scoped track override for the calling thread: everything emitted in
+/// scope (including Span begin/end events) lands on (pid, tid). Used to
+/// put persist work on its own track and to give bench scenarios and
+/// simulated ranks distinct timelines. Cheap enough to construct
+/// unconditionally (two thread-local stores).
+class TrackGuard {
+ public:
+  TrackGuard(std::uint32_t pid, std::uint32_t tid) noexcept;
+  ~TrackGuard();
+  TrackGuard(const TrackGuard&) = delete;
+  TrackGuard& operator=(const TrackGuard&) = delete;
+
+ private:
+  TrackId prev_{};
+  bool prev_overridden_ = false;
+};
+
+using Args = std::initializer_list<std::pair<const char*, double>>;
+
+/// Low-level emitter: appends `ev` (as given — caller supplies track and
+/// timestamp) to the calling thread's ring buffer, stamping the global
+/// sequence number. No-op when no session is active. This is what the
+/// cluster simulator uses to lay out *modeled* timelines.
+void emit(TraceEvent ev);
+
+// Convenience emitters; all wall-clock, on the current track, and no-ops
+// when inactive.
+void begin(std::string_view name, std::string_view cat = "span");
+void end(std::string_view name, std::string_view cat = "span");
+void instant(std::string_view name, std::string_view cat = "app",
+             Args args = {});
+void counter(std::string_view name, double value);
+void flow_begin(std::string_view name, std::uint64_t id);
+void flow_end(std::string_view name, std::uint64_t id);
+/// Fresh process-unique id for pairing flow_begin/flow_end.
+std::uint64_t next_flow_id() noexcept;
+
+/// Recovery audit log: an instant event on the dedicated audit track
+/// (kRecoveryAuditPid), category "recovery", with an auto-attached
+/// monotonically increasing "audit_seq" arg so causal order survives the
+/// export sort and is machine-checkable.
+void audit(std::string_view name, Args args = {});
+
+/// Names a pid's track in the exported trace ("rank 3", "recovery
+/// audit"). Idempotent; no-op when inactive.
+void name_process(std::uint32_t pid, const std::string& name);
+void name_thread(std::uint32_t pid, std::uint32_t tid,
+                 const std::string& name);
+/// Names the calling thread's current track.
+void name_current_thread(const std::string& name);
+
+// ---- sections (wear heatmaps & friends) -----------------------------------
+
+/// RAII registration of a named JSON section provider. Sections are
+/// pull-mode (evaluated at export), and a dying handle *freezes* its
+/// provider's final value instead of dropping it — so a device destroyed
+/// mid-bench (sec56_recovery's scoped bundles) still contributes its wear
+/// heatmap to the trace/report written at the end.
+class Section {
+ public:
+  Section() = default;
+  Section(Section&& o) noexcept { *this = std::move(o); }
+  Section& operator=(Section&& o) noexcept;
+  Section(const Section&) = delete;
+  Section& operator=(const Section&) = delete;
+  ~Section() { reset(); }
+  /// Freezes the provider's current value and unregisters it.
+  void reset();
+
+ private:
+  friend Section register_section(std::string,
+                                  std::function<json::Value()>);
+  std::uint64_t id_ = 0;
+};
+
+Section register_section(std::string name, std::function<json::Value()> fn);
+/// All sections as one JSON object: live providers evaluated now, plus
+/// every frozen value. Works with or without an active session.
+json::Value collect_sections();
+/// Drops all live and frozen sections (test isolation).
+void clear_sections();
+
+// ---- session ---------------------------------------------------------------
+
+/// One recording session (at most one active per process). Construction
+/// arms the runtime gate; stop() (or destruction) disarms it and drains
+/// every thread's ring buffer into a single timestamp-ordered event list.
+class TraceSession {
+ public:
+  struct Options {
+    std::size_t buffer_capacity = kDefaultBufferCapacity;  ///< per thread
+  };
+
+  TraceSession();
+  explicit TraceSession(Options opts);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Stops recording and drains. Idempotent; write() calls it.
+  void stop();
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+  std::uint64_t dropped_events() const noexcept { return dropped_; }
+
+  /// Streams the Chrome trace JSON document:
+  ///   { "schema_version": 1, "displayTimeUnit": "ms",
+  ///     "metadata": {event_count, dropped_events, buffers},
+  ///     "wear_heatmaps": { <section name>: {...}, ... },
+  ///     "traceEvents": [ M-events..., sorted events... ] }
+  /// Deterministic for a given event set (stable sort by ts then emit
+  /// order; fixed number formatting).
+  void write(std::ostream& os);
+  /// write() to a file; false (with a message on stderr) on I/O failure.
+  bool write_file(const std::string& path);
+
+ private:
+  bool stopped_ = false;
+  std::uint64_t dropped_ = 0;
+  std::size_t buffers_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                        std::string>>
+      thread_names_;
+};
+
+// ---- validation ------------------------------------------------------------
+
+/// Result of structurally validating an exported trace document.
+struct TraceCheck {
+  bool ok = true;
+  std::string error;          ///< first violation, empty when ok
+  std::size_t events = 0;     ///< traceEvents entries (M-events excluded)
+  std::size_t tracks = 0;     ///< distinct (pid, tid) pairs seen
+  std::size_t slices = 0;     ///< matched B/E pairs + X events
+  std::size_t flows = 0;      ///< matched s/f pairs
+  std::size_t audit_events = 0;
+  std::uint64_t dropped = 0;  ///< metadata.dropped_events
+};
+
+/// Checks a parsed Chrome trace document produced by TraceSession::write:
+/// per-track B/E pairing (LIFO, names match), X-slice containment (no
+/// partial overlap on a track), non-decreasing timestamps in file order,
+/// every flow 's' resolved by a later 'f' with the same id, and recovery
+/// audit events in increasing audit_seq order. Used by trace2summary and
+/// the unit tests; deliberately independent of the recording machinery so
+/// it also compiles (and passes on empty traces) under PMO_TELEMETRY=OFF.
+TraceCheck validate_chrome_trace(const json::Value& doc);
+
+}  // namespace pmo::telemetry::trace

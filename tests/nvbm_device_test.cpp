@@ -206,6 +206,39 @@ TEST(Device, ResetAllClearsWearToo) {
   EXPECT_EQ(dev.mean_wear(), 0.0);
 }
 
+TEST(Device, WearBucketsSurviveResetCountersNotResetAll) {
+  // The bucketed wear map obeys the same contract as per-line wear:
+  // reset_counters() keeps it (endurance models the medium, software
+  // cannot undo it), reset_all() wipes it (fresh device).
+  Device dev(1 << 16, fast_config());
+  std::uint64_t v = 0;
+  dev.write(0, &v, 8);               // first line -> bucket 0
+  dev.write((1 << 16) - 8, &v, 8);   // last line -> bucket 63
+  EXPECT_EQ(dev.wear_buckets().front(), 1u);
+  EXPECT_EQ(dev.wear_buckets().back(), 1u);
+  dev.reset_counters();
+  EXPECT_EQ(dev.counters().writes, 0u);
+  EXPECT_EQ(dev.wear_buckets().front(), 1u);
+  EXPECT_EQ(dev.wear_buckets().back(), 1u);
+  dev.reset_all();
+  EXPECT_EQ(dev.wear_buckets().front(), 0u);
+  EXPECT_EQ(dev.wear_buckets().back(), 0u);
+}
+
+TEST(Device, WearHeatmapJsonShape) {
+  Device dev(1 << 16, fast_config());
+  std::uint64_t v = 0;
+  dev.write(0, &v, 8);
+  dev.write(64, &v, 8);
+  const auto heat = dev.wear_heatmap_json();
+  EXPECT_EQ(heat.find("capacity")->as_double(), 65536.0);
+  EXPECT_EQ(heat.find("total_line_writes")->as_double(), 2.0);
+  EXPECT_EQ(heat.find("max_bucket")->as_double(), 2.0);
+  ASSERT_NE(heat.find("buckets"), nullptr);
+  EXPECT_EQ(heat.find("buckets")->size(), Device::kWearBuckets);
+  EXPECT_EQ(heat.find("buckets")->at(0).as_double(), 2.0);
+}
+
 #if PMO_TELEMETRY_ENABLED
 TEST(Device, PublishExportsGauges) {
   Config cfg = fast_config();

@@ -1,0 +1,91 @@
+// Compile-and-behavior test for PMO_TELEMETRY=OFF. This target builds its
+// own copies of the telemetry sources with PMO_TELEMETRY_ENABLED=0 (see
+// tests/CMakeLists.txt — linking the normally-built library would be an
+// ODR violation, since Span's layout differs between modes) and checks
+// that the no-op surface is complete and self-contained: every call site
+// in the tree must compile and do nothing, with no reference to
+// recording-only state.
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#if PMO_TELEMETRY_ENABLED
+#error "this test must be compiled with PMO_TELEMETRY_ENABLED=0"
+#endif
+
+namespace pmo::telemetry {
+namespace {
+
+TEST(TelemetryOff, RegistryRecordsNothing) {
+  EXPECT_FALSE(enabled());
+  Registry reg;
+  reg.counter("ops").add(5);
+  reg.gauge("depth").set(3.0);
+  reg.histogram("lat").record(1000);
+  {
+    Span s(reg, "persist");
+    EXPECT_TRUE(Span::current_path().empty());
+    Span inner(reg, "merge");
+    EXPECT_TRUE(Span::current_path().empty());
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ops"), 0u);
+  EXPECT_EQ(snap.gauges.at("depth"), 0.0);
+}
+
+TEST(TelemetryOff, DropGaugesStillPrunesRegistry) {
+  Registry reg;
+  reg.gauge("nvbm.wear");
+  reg.gauge("mesh.leaves");
+  reg.drop_gauges("nvbm.");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.count("nvbm.wear"), 0u);
+  EXPECT_EQ(snap.gauges.count("mesh.leaves"), 1u);
+}
+
+TEST(TelemetryOff, TraceEmittersAreInertAndSessionExportsEmpty) {
+  EXPECT_FALSE(trace::active());
+  trace::begin("a");
+  trace::instant("b");
+  trace::counter("c", 1.0);
+  trace::audit("bench.crash", {{"step", 1.0}});
+  trace::end("a");
+  {
+    trace::TrackGuard guard(7, 2);
+    trace::instant("d");
+  }
+  trace::TraceSession session;
+  EXPECT_FALSE(trace::active());  // OFF build never arms the gate
+  trace::instant("e");
+  session.stop();
+  EXPECT_EQ(session.event_count(), 0u);
+  EXPECT_EQ(session.dropped_events(), 0u);
+
+  std::ostringstream out;
+  session.write(out);
+  std::string err;
+  const auto doc = json::Value::parse(out.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const auto check = trace::validate_chrome_trace(*doc);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.events, 0u);
+}
+
+TEST(TelemetryOff, SectionsStillExport) {
+  trace::clear_sections();
+  trace::Section s = trace::register_section("nvbm0", [] {
+    auto v = json::Value::object();
+    v["capacity"] = 1024;
+    return v;
+  });
+  const auto all = trace::collect_sections();
+  ASSERT_NE(all.find("nvbm0"), nullptr);
+  EXPECT_EQ(all.find("nvbm0")->find("capacity")->as_double(), 1024.0);
+  trace::clear_sections();
+}
+
+}  // namespace
+}  // namespace pmo::telemetry

@@ -117,6 +117,50 @@ TEST(Registry, SourceRefreshesOnSnapshotAndUnregisters) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(Registry, SourceCleanupRunsOnceWhenHandleDies) {
+  Registry reg;
+  int cleanups = 0;
+  {
+    auto src = reg.register_source([](Registry& r) { r.gauge("dev.w"); },
+                                   [&cleanups] { ++cleanups; });
+    reg.snapshot();
+    EXPECT_EQ(cleanups, 0);
+    src.reset();
+    EXPECT_EQ(cleanups, 1);
+    src.reset();  // idempotent
+    EXPECT_EQ(cleanups, 1);
+  }
+  EXPECT_EQ(cleanups, 1);
+}
+
+TEST(Registry, SourceCleanupSurvivesRegistryClear) {
+  // The cleanup lives in the *handle*, not the registry, so clear()
+  // (which drops the source entry) must not orphan it.
+  Registry reg;
+  int cleanups = 0;
+  auto src = reg.register_source([](Registry&) {}, [&cleanups] { ++cleanups; });
+  reg.clear();
+  EXPECT_EQ(cleanups, 0);
+  src.reset();
+  EXPECT_EQ(cleanups, 1);
+}
+
+TEST(Registry, DropGaugesErasesByPrefixOnly) {
+  // Back-to-back bench bundles: a dead device's source must be able to
+  // drop its gauges so later snapshots don't report ghost values.
+  Registry reg;
+  reg.gauge("nvbm.writes").set(7.0);
+  reg.gauge("nvbm.max_wear").set(3.0);
+  reg.gauge("mesh.leaves").set(100.0);
+  reg.counter("nvbm.cow").add(2);
+  reg.drop_gauges("nvbm.");
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.count("nvbm.writes"), 0u);
+  EXPECT_EQ(snap.gauges.count("nvbm.max_wear"), 0u);
+  EXPECT_EQ(snap.gauge("mesh.leaves"), 100.0);
+  EXPECT_EQ(snap.counter("nvbm.cow"), 2u);  // counters untouched
+}
+
 TEST(Span, RecordsDurationHistogram) {
   Registry reg;
   { Span s(reg, "op"); }

@@ -1,0 +1,103 @@
+// Trace integrity checker / summarizer for the Chrome trace JSON written
+// by telemetry::trace::TraceSession (and the trace_smoke ctest label).
+//
+//   trace2summary [flags] <trace.json>
+//   trace2summary [flags] --run <bench-binary> <trace.json> [bench args...]
+//
+// The second form runs the bench with `--trace <trace.json>` first (same
+// std::system harness as validate_bench_json), then validates the file it
+// wrote. Validation is telemetry::trace::validate_chrome_trace: per-track
+// begin/end pairing, X-slice containment, flow s/f integrity, and the
+// recovery audit log's causal (audit_seq) order.
+//
+// Flags:
+//   --require-audit      fail unless the trace holds >= 1 recovery audit
+//                        event (sec56_recovery must produce the crash ->
+//                        can_restore -> restore chain)
+//   --require-tracks N   fail unless >= N distinct (pid, tid) tracks
+//                        (fig03 must separate compute from persist)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace {
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "trace2summary: %s\n", msg.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool require_audit = false;
+  std::size_t require_tracks = 0;
+  std::string bench;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-audit") {
+      require_audit = true;
+    } else if (arg == "--require-tracks" && i + 1 < argc) {
+      require_tracks = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--run" && i + 1 < argc) {
+      bench = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    return fail(
+        "usage: trace2summary [--require-audit] [--require-tracks N] "
+        "[--run <bench>] <trace.json> [bench args...]");
+  }
+  const std::string path = positional.front();
+
+  if (!bench.empty()) {
+    std::string cmd = "\"" + bench + "\" --trace \"" + path + "\"";
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      cmd += " \"" + positional[i] + "\"";
+    }
+    std::printf("running: %s\n", cmd.c_str());
+    std::fflush(stdout);
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      return fail("bench exited with status " + std::to_string(rc));
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const auto doc = pmo::telemetry::json::Value::parse(buf.str(), &err);
+  if (!doc) return fail("JSON parse error in " + path + ": " + err);
+
+  const auto check = pmo::telemetry::trace::validate_chrome_trace(*doc);
+  std::printf(
+      "%s: %zu events on %zu tracks; %zu slices, %zu flows, %zu audit "
+      "events; %llu dropped\n",
+      path.c_str(), check.events, check.tracks, check.slices, check.flows,
+      check.audit_events,
+      static_cast<unsigned long long>(check.dropped));
+  if (!check.ok) return fail("invalid trace: " + check.error);
+  if (!bench.empty() && check.events == 0) {
+    return fail("bench run produced an empty trace");
+  }
+  if (require_audit && check.audit_events == 0) {
+    return fail("trace holds no recovery audit events");
+  }
+  if (check.tracks < require_tracks) {
+    return fail("trace holds " + std::to_string(check.tracks) +
+                " tracks, expected >= " + std::to_string(require_tracks));
+  }
+  std::printf("ok\n");
+  return 0;
+}
