@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "amr/droplet.hpp"
 #include "amr/pm_backend.hpp"
@@ -19,6 +20,7 @@
 #include "baseline/incore_backend.hpp"
 #include "cluster/cluster_sim.hpp"
 #include "common/stats.hpp"
+#include "exec/pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -29,6 +31,27 @@ inline double bench_scale() {
   if (env == nullptr) return 1.0;
   const double v = std::atof(env);
   return v > 0 ? v : 1.0;
+}
+
+/// Set by BenchReport when the binary was invoked with `--threads N`
+/// (flag beats environment).
+inline int& bench_threads_override() {
+  static int v = 0;
+  return v;
+}
+
+/// Measurement-phase thread count: `--threads N` flag >
+/// PMOCTREE_BENCH_THREADS env > hardware_concurrency. Only wall-clock
+/// depends on it — modeled results are bit-identical across values
+/// (ClusterSim's determinism contract), which is what makes the fig06
+/// threads=1 vs threads=N JSON comparison meaningful.
+inline int bench_threads() {
+  if (bench_threads_override() > 0) return bench_threads_override();
+  if (const char* env = std::getenv("PMOCTREE_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return exec::hardware_threads();
 }
 
 inline nvbm::Config device_config() {
@@ -182,6 +205,10 @@ inline std::size_t budget_for(double c0_octants_per_node,
 struct PointOpts {
   double c0_octants_per_node = 1.5e5;
   bool enable_transform = true;
+  /// Measurement lanes per point (ClusterConfig::measure_ranks). 1 keeps
+  /// the original single-measurement cost; the scaling figures raise it
+  /// so lane-level parallelism has real work to spread across threads.
+  int measure_ranks = 1;
 };
 
 struct PointResult {
@@ -192,7 +219,10 @@ struct PointResult {
 };
 
 /// Runs one cluster-simulation point: `procs` ranks, `target_global`
-/// elements in total, on the given backend.
+/// elements in total, on the given backend. Measurement runs
+/// opts.measure_ranks lanes (one bundle each) on bench_threads() worker
+/// threads; reported device-side numbers (nvbm_writes, eviction_merges)
+/// come from the canonical lane 0.
 inline PointResult run_point(Backend kind, int procs, double target_global,
                              int steps, const amr::DropletParams& params,
                              const PointOpts& opts,
@@ -208,18 +238,31 @@ inline PointResult run_point(Backend kind, int procs, double target_global,
     bopts.pm.enable_transform = opts.enable_transform;
     out.dram_budget_bytes = bopts.pm.dram_budget_bytes;
   }
-  Bundle bundle = make_bundle(kind, std::size_t{256} << 20, bopts);
-  amr::DropletWorkload wl(params);
-  register_droplet_feature(bundle, wl);
+  // Declared before `bundles` so workloads outlive the PM feature hooks
+  // (register_droplet_feature captures the workload by reference).
+  std::vector<std::shared_ptr<amr::DropletWorkload>> workloads;
+  std::vector<std::shared_ptr<Bundle>> bundles;
   cluster::ClusterConfig cfg;
   cfg.procs = procs;
   cfg.steps = steps;
   cfg.scale = scale;
+  cfg.threads = bench_threads();
+  cfg.measure_ranks = opts.measure_ranks;
   cluster::ClusterSim sim(cfg);
-  out.cluster = sim.run(*bundle.mesh, wl);
-  out.nvbm_writes = bundle.mesh->nvbm_writes();
-  if (bundle.pm != nullptr) {
-    out.eviction_merges = bundle.pm->tree().eviction_merges();
+  const auto factory = [&](int /*rank*/, const amr::DropletParams& p)
+      -> cluster::RankInstance {
+    auto bundle = std::make_shared<Bundle>(
+        make_bundle(kind, std::size_t{256} << 20, bopts));
+    auto wl = std::make_shared<amr::DropletWorkload>(p);
+    register_droplet_feature(*bundle, *wl);
+    workloads.push_back(wl);
+    bundles.push_back(bundle);
+    return {cluster::RankBackend(bundle, bundle->mesh.get()), wl};
+  };
+  out.cluster = sim.run(factory, params);
+  out.nvbm_writes = bundles.front()->mesh->nvbm_writes();
+  if (bundles.front()->pm != nullptr) {
+    out.eviction_merges = bundles.front()->pm->tree().eviction_merges();
   }
   return out;
 }

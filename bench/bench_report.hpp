@@ -10,6 +10,7 @@
 //     "title":  "Figure 7: ...",            // console header line
 //     "scale":  1.0,                        // PMOCTREE_BENCH_SCALE
 //     "device": { "dram_read_ns": 60, ... } // Table 2 model parameters
+//     "config": { "threads": 8 },           // wall-clock-only knobs
 //     "table":  { "headers": [...], "rows": [[".."], ...] },  // the
 //                 // console table, cell-for-cell (display strings)
 //     "metrics": { "counters": {...}, "gauges": {...},
@@ -36,10 +37,12 @@ namespace pmo::bench {
 class BenchReport {
  public:
   /// `name` is the binary name (bench_<name>.json default path); argv is
-  /// scanned for `--json <path>` and `--trace <path>`; other arguments are
-  /// left alone (micro_ops forwards its argv to google-benchmark
-  /// afterwards). `--trace` starts a TraceSession covering the whole bench
-  /// run; write() exports it as Chrome trace-event JSON.
+  /// scanned for `--json <path>`, `--trace <path>` and `--threads <N>`;
+  /// other arguments are left alone (micro_ops forwards its argv to
+  /// google-benchmark afterwards). `--trace` starts a TraceSession
+  /// covering the whole bench run; write() exports it as Chrome
+  /// trace-event JSON. `--threads` sets the measurement-phase concurrency
+  /// (see bench_threads(); flag beats PMOCTREE_BENCH_THREADS).
   BenchReport(std::string name, std::string title, int argc = 0,
               char** argv = nullptr)
       : name_(std::move(name)),
@@ -48,6 +51,10 @@ class BenchReport {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
       if (std::string(argv[i]) == "--trace") trace_path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--threads") {
+        const int v = std::atoi(argv[i + 1]);
+        if (v > 0) bench_threads_override() = v;
+      }
     }
     if (!trace_path_.empty()) {
       trace_ = std::make_unique<telemetry::trace::TraceSession>();
@@ -100,6 +107,12 @@ class BenchReport {
         c.latency_mode == nvbm::LatencyMode::kModeled ? "modeled"
                                                       : "injected";
     root["device"] = std::move(dev);
+    // Run configuration: knobs that affect wall-clock but (by the
+    // determinism contract) not modeled results. Comparing two bench
+    // JSONs modulo `config` + wall-clock histograms checks bit-identity.
+    json::Value config = json::Value::object();
+    config["threads"] = bench_threads();
+    root["config"] = std::move(config);
     json::Value table = json::Value::object();
     json::Value headers = json::Value::array();
     for (const auto& h : headers_) headers.push_back(h);

@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   const double per_rank = 1.0e6 * bench_scale();
   PointOpts opts;
   opts.c0_octants_per_node = 1.5e5 * bench_scale();
+  // Eight measurement lanes per point: gives the exec pool lane-level
+  // parallelism (wall-clock scales with --threads) while modeled results
+  // stay bit-identical across thread counts.
+  opts.measure_ranks = 8;
   const int steps = 6;
 
   amr::DropletParams params;
@@ -26,8 +30,9 @@ int main(int argc, char** argv) {
   params.dt = 0.12;
   const auto real_leaves = probe_leaves(params);
   std::printf("real mesh: %zu leaves; per-rank target %s elements; "
-              "%d steps\n\n",
-              real_leaves, elems(per_rank).c_str(), steps);
+              "%d steps; %d threads\n\n",
+              real_leaves, elems(per_rank).c_str(), steps,
+              bench_threads());
 
   const int procs_list[] = {1, 6, 24, 100, 250, 500, 1000};
   report.begin_table({"procs", "elements", "PM-octree(s)", "in-core(s)",

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const double global = 150.0e6 * bench_scale();
   PointOpts opts;
   opts.c0_octants_per_node = 1.5e5 * bench_scale();
+  opts.measure_ranks = 8;  // lane-level parallelism (see fig06)
   const int steps = 6;
 
   amr::DropletParams params;

@@ -7,9 +7,10 @@
 // ctest targets set PMOCTREE_BENCH_SCALE=0.05 so each bench finishes in
 // seconds); the validator then parses <json-path> and checks the keys
 // every bench must emit: schema_version, bench, title, scale, device
-// (with the Table 2 latency fields), table.headers / table.rows (row
-// width matching the header count) and metrics. Exits non-zero with a
-// message on the first violation.
+// (with the Table 2 latency fields), config (with the measurement thread
+// count), table.headers / table.rows (row width matching the header
+// count) and metrics. Exits non-zero with a message on the first
+// violation.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -84,6 +85,14 @@ int main(int argc, char** argv) {
     if (require(*dev, key, Value::Type::kNumber, &err) == nullptr) {
       return fail("device: " + err);
     }
+  }
+
+  // Run configuration (wall-clock-only knobs): every bench records its
+  // measurement-phase thread count.
+  const Value* config = require(*doc, "config", Value::Type::kObject, &err);
+  if (config == nullptr) return fail(err);
+  if (require(*config, "threads", Value::Type::kNumber, &err) == nullptr) {
+    return fail("config: " + err);
   }
 
   const Value* table = require(*doc, "table", Value::Type::kObject, &err);

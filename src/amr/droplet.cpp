@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "telemetry/telemetry.hpp"
 
 namespace pmo::amr {
+
+namespace {
+
+/// Chunk count of the solve's stencil gather. Fixed — never derived from
+/// the thread count — so the decomposition, and with it every modeled
+/// number, is identical no matter how many workers run the chunks.
+constexpr std::size_t kStencilChunks = 16;
+
+}  // namespace
 
 DropletWorkload::DropletWorkload(DropletParams params) : params_(params) {
   PMO_CHECK_MSG(params_.min_level >= 1 &&
@@ -157,23 +167,53 @@ StepStats DropletWorkload::step(MeshBackend& mesh, int step_index,
   // neighbor stencils. Generates the solver's read/write traffic (writes
   // mostly in liquid cells).
   mark = mesh.modeled_ns();
+  std::vector<double> relaxed;
+  std::vector<std::uint8_t> touched;
   for (int sweep = 0; sweep < p.solver_sweeps; ++sweep) {
-    mesh.sweep_leaves([&](const LocCode& code, CellData& d) {
-      if (d.vof <= 0.0 && d.tracer <= 1e-9) return false;
-      double acc = 0.0;
-      int n = 0;
-      static constexpr int kFaces[6][3] = {{1, 0, 0},  {-1, 0, 0},
-                                           {0, 1, 0},  {0, -1, 0},
-                                           {0, 0, 1},  {0, 0, -1}};
-      for (const auto& f : kFaces) {
-        LocCode ncode;
-        if (!code.neighbor(f[0], f[1], f[2], ncode)) continue;
-        acc += mesh.sample(ncode).tracer;
-        ++n;
-      }
-      const double relaxed =
-          n > 0 ? 0.5 * d.tracer + 0.5 * (acc / n) : d.tracer;
-      d.tracer = relaxed + 0.1 * d.vof;  // liquid acts as a source
+    // Jacobi gather over a leaf snapshot: the stencil phase only reads,
+    // and neighbor lookups resolve inside the extracted Morton array
+    // (LeafChunk::find) instead of mesh.sample — backend read paths
+    // mutate modeled state, so this is what lets chunks run concurrently
+    // on the exec pool. Each chunk writes only its own [begin, end)
+    // slots of the scratch arrays.
+    mesh.sweep_leaves_chunked(
+        kStencilChunks,
+        [&](const LeafChunk& ch) {
+          for (std::size_t i = ch.begin; i < ch.end; ++i) {
+            const LocCode& code = ch.codes[i];
+            const CellData& d = ch.cells[i];
+            if (d.vof <= 0.0 && d.tracer <= 1e-9) continue;
+            double acc = 0.0;
+            int n = 0;
+            static constexpr int kFaces[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                                 {0, 1, 0},  {0, -1, 0},
+                                                 {0, 0, 1},  {0, 0, -1}};
+            for (const auto& f : kFaces) {
+              LocCode ncode;
+              if (!code.neighbor(f[0], f[1], f[2], ncode)) continue;
+              if (const CellData* nb = ch.find(ncode)) {
+                acc += nb->tracer;
+                ++n;
+              }
+            }
+            const double r =
+                n > 0 ? 0.5 * d.tracer + 0.5 * (acc / n) : d.tracer;
+            relaxed[i] = r + 0.1 * d.vof;  // liquid acts as a source
+            touched[i] = 1;
+          }
+        },
+        exec_,
+        [&](std::size_t leaves) {
+          relaxed.assign(leaves, 0.0);
+          touched.assign(leaves, 0);
+        });
+    // Write-back: single-writer CoW mutation, Morton order (sweep_leaves
+    // enumerates the same leaves the snapshot did — no surgery between).
+    std::size_t idx = 0;
+    mesh.sweep_leaves([&](const LocCode&, CellData& d) {
+      const std::size_t i = idx++;
+      if (touched[i] == 0) return false;
+      d.tracer = relaxed[i];
       return true;
     });
   }

@@ -102,11 +102,19 @@ class DropletWorkload {
   /// solve, persist (unless `persist` is false).
   StepStats step(MeshBackend& mesh, int step_index, bool persist = true);
 
+  /// Optional execution pool for the solve's chunked stencil gather
+  /// (read-only phase; see MeshBackend::sweep_leaves_chunked). nullptr
+  /// keeps the gather sequential. Results — field values and modeled
+  /// time — are bit-identical either way: the chunk decomposition is
+  /// fixed and each chunk writes only its own per-leaf slots.
+  void set_exec(exec::ThreadPool* pool) noexcept { exec_ = pool; }
+
  private:
   double jet_profile(double z, double t) const;
 
   DropletParams params_;
   double time_ = 0.0;
+  exec::ThreadPool* exec_ = nullptr;
 };
 
 }  // namespace pmo::amr

@@ -5,12 +5,17 @@
 // backend per simulated rank.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 #include "common/morton.hpp"
 #include "octree/cell_data.hpp"
+
+namespace pmo::exec {
+class ThreadPool;
+}  // namespace pmo::exec
 
 namespace pmo::amr {
 
@@ -22,6 +27,33 @@ using ChildInit = std::function<void(const LocCode&, CellData&)>;
 using LeafMutFn = std::function<bool(const LocCode&, CellData&)>;
 /// Read-only leaf visitor.
 using LeafFn = std::function<void(const LocCode&, const CellData&)>;
+
+/// One contiguous Morton range of an extracted leaf snapshot, as handed
+/// to sweep_leaves_chunked() callbacks. `codes`/`cells` point at the FULL
+/// sorted leaf arrays (all `leaves` entries) so a chunk can look up
+/// neighbors outside its own [begin, end) range; the callback owns only
+/// the indices inside its range.
+struct LeafChunk {
+  std::size_t index = 0;   ///< chunk ordinal in [0, chunks)
+  std::size_t begin = 0;   ///< first leaf index of this chunk
+  std::size_t end = 0;     ///< one past the last leaf index
+  const LocCode* codes = nullptr;  ///< all leaves, Morton order
+  const CellData* cells = nullptr;
+  std::size_t leaves = 0;  ///< total leaf count of the snapshot
+
+  /// Data of the leaf whose octant contains `code` (the snapshot
+  /// equivalent of MeshBackend::sample, minus device charging): binary
+  /// containment search over the sorted leaf array. Returns nullptr when
+  /// no leaf covers the code (outside the refined domain).
+  const CellData* find(const LocCode& code) const noexcept;
+};
+
+/// Per-chunk callback of sweep_leaves_chunked.
+using LeafChunkFn = std::function<void(const LeafChunk&)>;
+/// Runs once after snapshot extraction, before any chunk callback, with
+/// the total leaf count — the place to size per-leaf scratch arrays that
+/// chunk callbacks then fill concurrently.
+using LeafPrepareFn = std::function<void(std::size_t)>;
 
 class MeshBackend {
  public:
@@ -45,6 +77,25 @@ class MeshBackend {
   }
   /// Read-only Morton-order leaf visit.
   virtual void visit_leaves(const LeafFn& fn) = 0;
+
+  /// Chunked Morton-range sweep for data-parallel read phases (the
+  /// droplet solver's stencil gather). The default implementation
+  /// extracts the sorted leaf array with one charged visit_leaves pass —
+  /// backend read paths mutate modeled state (PM heat tracking, the
+  /// Etree buffer pool's LRU), so the snapshot is what makes concurrent
+  /// consumption safe — then splits it into `chunks` contiguous ranges
+  /// and runs `fn` once per chunk, on `pool` when given (nullptr or a
+  /// 1-thread pool → sequentially, ascending chunk index). The
+  /// decomposition depends only on (leaf count, chunks), never on the
+  /// thread count, so a callback writing results into per-leaf slots is
+  /// bit-deterministic across pools. `prepare`, if given, runs once
+  /// before the first chunk with the total leaf count. Chunk callbacks
+  /// MUST NOT touch the backend (no sample/sweep/refine): they read the
+  /// snapshot, the single-writer CoW mutation phase stays with the
+  /// caller.
+  virtual void sweep_leaves_chunked(std::size_t chunks, const LeafChunkFn& fn,
+                                    exec::ThreadPool* pool = nullptr,
+                                    const LeafPrepareFn& prepare = nullptr);
 
   /// Refines every leaf matching `pred` one level; returns # splits.
   virtual std::size_t refine_where(const LeafPred& pred,

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <iterator>
 
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "exec/pool.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pmo::cluster {
@@ -91,20 +94,58 @@ double rank_share_s(std::uint64_t global_ns, std::size_t weight,
          scale;
 }
 
-}  // namespace
+/// Morton-ordered leaf codes + hot (interface) flags of the canonical
+/// lane's mesh after one step — everything the model phase needs from
+/// the measurement phase.
+struct StepCensus {
+  std::vector<LocCode> codes;
+  std::vector<bool> hot;
+};
 
-TimeBreakdown breakdown_from_telemetry(const telemetry::Snapshot& snap) {
-  TimeBreakdown out;
-  for (const auto& r : kRoutineMetrics) {
-    const auto ns = snap.counter(r.metric);
-    if (ns != 0) out.add_seconds(r.display, static_cast<double>(ns) * 1e-9);
+/// One lane's measured costs: construct plus per-step routine times.
+struct LaneMeasurement {
+  std::uint64_t construct_ns = 0;
+  std::vector<amr::StepStats> steps;
+};
+
+/// Runs the workload on one lane's backend. Safe to call concurrently
+/// for distinct lanes (each touches only its own mesh/workload; shared
+/// telemetry counters are atomic). Only the canonical lane passes
+/// `census` — the per-step interleave (step, then census traversal)
+/// matches the original sequential run() exactly, so lane 0's mesh and
+/// device evolve bit-identically to the seed's single-mesh path.
+LaneMeasurement measure_lane(amr::MeshBackend& mesh,
+                             amr::DropletWorkload& wl, int steps,
+                             std::vector<StepCensus>* census) {
+  LaneMeasurement m;
+  m.construct_ns = wl.initialize(mesh);
+  m.steps.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    const auto st = wl.step(mesh, s, /*persist=*/true);
+    m.steps.push_back(st);
+    if (census != nullptr) {
+      StepCensus c;
+      c.codes.reserve(st.leaves);
+      c.hot.reserve(st.leaves);
+      mesh.visit_leaves([&](const LocCode& code, const CellData& d) {
+        c.codes.push_back(code);
+        c.hot.push_back(is_interface_cell(d, 1e-3));
+      });
+      census->push_back(std::move(c));
+    }
   }
-  return out;
+  return m;
 }
 
-ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
-                              amr::DropletWorkload& wl) {
+/// The communication-model phase: coordinating thread only. Simulated
+/// rank r draws its measured costs from lane r % lanes.size(); partition
+/// and hot-spot weighting come from the canonical lane's census.
+ClusterResult model_cluster(const ClusterConfig& config,
+                            const std::vector<LaneMeasurement>& lanes,
+                            std::vector<StepCensus> census,
+                            std::size_t real_leaves) {
   ClusterResult out;
+  out.measured_lanes = static_cast<int>(lanes.size());
   // Per-routine accounting goes through the telemetry registry (the
   // kRoutineMetrics counters); `routine_s` stages this run's seconds so
   // the published delta and the returned breakdown agree exactly.
@@ -116,8 +157,12 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
   telemetry::Counter* steps_counter = &reg.counter("cluster.steps");
   telemetry::Counter* migrated_counter =
       &reg.counter("cluster.migrated_octants");
-  const int procs = config_.procs;
-  const double scale = config_.scale;
+  const int procs = config.procs;
+  const double scale = config.scale;
+  const int nlanes = static_cast<int>(lanes.size());
+  const auto lane_of = [&](int rank) -> const LaneMeasurement& {
+    return lanes[static_cast<std::size_t>(rank % nlanes)];
+  };
   // Boundary (ghost-layer) octant counts grow with the surface of a
   // rank's subdomain: scale^(2/3) of the measured count.
   const double boundary_scale = std::pow(scale, 2.0 / 3.0);
@@ -137,37 +182,36 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
     }
   }
 
-  // Construct: embarrassingly parallel; each rank builds its share.
-  const std::uint64_t construct_ns = wl.initialize(mesh);
-  const double construct_s =
-      static_cast<double>(construct_ns) * 1e-9 * scale /
-      static_cast<double>(procs);
+  // Construct: embarrassingly parallel; each rank builds its share, the
+  // phase ends when the slowest lane's ranks finish.
+  double construct_s = 0.0;
+  for (int m = 0; m < nlanes; ++m) {
+    const double lane_s =
+        static_cast<double>(lanes[static_cast<std::size_t>(m)].construct_ns) *
+        1e-9 * scale / static_cast<double>(procs);
+    construct_s = std::max(construct_s, lane_s);
+  }
   routine_s[kConstruct] += construct_s;
   out.total_s += construct_s;
   if (tracing) {
     for (int r = 0; r < traced; ++r) {
-      emit_rank_slice(r, base_ns, to_ns(construct_s), "Construct");
+      const double share =
+          static_cast<double>(lane_of(r).construct_ns) * 1e-9 * scale /
+          static_cast<double>(procs);
+      emit_rank_slice(r, base_ns, to_ns(share), "Construct");
     }
     base_ns += to_ns(construct_s);
   }
 
   std::unordered_map<LocCode, int, LocCodeHash> prev_owner;
 
-  for (int step = 0; step < config_.steps; ++step) {
-    const auto st = wl.step(mesh, step, /*persist=*/true);
+  for (int step = 0; step < config.steps; ++step) {
+    // Canonical lane's measurement anchors global quantities (mesh
+    // census, tree-surgery unit cost).
+    const auto& st0 = lanes[0].steps[static_cast<std::size_t>(step)];
+    auto& cen = census[static_cast<std::size_t>(step)];
 
-    // Global mesh census: leaf codes in Morton order + hot (interface)
-    // flags for work-distribution weighting.
-    std::vector<LocCode> codes;
-    std::vector<bool> hot;
-    codes.reserve(st.leaves);
-    hot.reserve(st.leaves);
-    mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
-      codes.push_back(c);
-      hot.push_back(is_interface_cell(d, 1e-3));
-    });
-
-    const auto part = partition_leaves(std::move(codes), procs);
+    const auto part = partition_leaves(std::move(cen.codes), procs);
     const auto stats = analyze_partition(part, prev_owner);
     prev_owner = owner_map(part);
     out.total_migrated += stats.migrated;
@@ -176,8 +220,8 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
     // Per-rank hot counts.
     std::vector<std::size_t> hot_r(static_cast<std::size_t>(procs), 0);
     std::size_t hot_total = 0;
-    for (std::size_t i = 0; i < hot.size(); ++i) {
-      if (hot[i]) {
+    for (std::size_t i = 0; i < cen.hot.size(); ++i) {
+      if (cen.hot[i]) {
         ++hot_r[static_cast<std::size_t>(part.owner_of_index(i))];
         ++hot_total;
       }
@@ -185,11 +229,11 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
 
     // Derived tree-surgery cost (per created/destroyed octant) for the
     // Partition model: prefer the backend's own measured refine cost.
-    const std::size_t churn = 8 * (st.refined + st.coarsened);
-    double surgery_s = config_.comm.default_surgery_s;
+    const std::size_t churn = 8 * (st0.refined + st0.coarsened);
+    double surgery_s = config.comm.default_surgery_s;
     if (churn > 0) {
       surgery_s = std::clamp(
-          static_cast<double>(st.refine_coarsen_ns) * 1e-9 /
+          static_cast<double>(st0.refine_coarsen_ns) * 1e-9 /
               static_cast<double>(churn),
           1e-7, 1e-4);
     }
@@ -200,6 +244,7 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
                   : 0.0;
 
     // Per-rank step time; the step completes when the slowest rank does.
+    // Rank r's measured costs come from its lane (r % nlanes).
     double worst = 0.0;
     int worst_rank = 0;
     std::vector<double> advect(static_cast<std::size_t>(procs));
@@ -210,6 +255,7 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
     std::vector<double> partit(static_cast<std::size_t>(procs));
     for (int r = 0; r < procs; ++r) {
       const auto ri = static_cast<std::size_t>(r);
+      const auto& st = lane_of(r).steps[static_cast<std::size_t>(step)];
       const std::size_t cnt = stats.counts[ri];
       advect[ri] = rank_share_s(st.advect_ns, cnt, part.leaves.size(),
                                 scale, procs);
@@ -222,13 +268,13 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
       const double bal_compute = rank_share_s(
           st.balance_ns, hot_r[ri], hot_total, scale, procs);
       const double bal_comm = balance_comm_time(
-          config_.comm, procs,
+          config.comm, procs,
           static_cast<double>(stats.boundary[ri]) * boundary_scale,
-          config_.octant_bytes);
+          config.octant_bytes);
       bal[ri] = bal_compute + bal_comm;
       partit[ri] = partition_time(
-          config_.comm, procs, static_cast<double>(cnt) * scale,
-          migrated_per_rank, surgery_s, config_.octant_bytes);
+          config.comm, procs, static_cast<double>(cnt) * scale,
+          migrated_per_rank, surgery_s, config.octant_bytes);
       const double total = advect[ri] + refine[ri] + bal[ri] + solve[ri] +
                            persist[ri] + partit[ri];
       if (total > worst) {
@@ -288,7 +334,7 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
           cursor += dur;
         }
       }
-      if (step < config_.steps - 1) {
+      if (step < config.steps - 1) {
         pending_flow = tr::next_flow_id();
         emit_rank_flow(/*begin=*/true, crit,
                        base_ns + to_ns(rank_total(crit)), pending_flow);
@@ -305,9 +351,83 @@ ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
   }
   migrated_counter->add(out.total_migrated);
 
-  out.real_leaves = mesh.leaf_count();
+  out.real_leaves = real_leaves;
   out.global_elements = static_cast<double>(out.real_leaves) * scale;
   return out;
+}
+
+}  // namespace
+
+TimeBreakdown breakdown_from_telemetry(const telemetry::Snapshot& snap) {
+  TimeBreakdown out;
+  for (const auto& r : kRoutineMetrics) {
+    const auto ns = snap.counter(r.metric);
+    if (ns != 0) out.add_seconds(r.display, static_cast<double>(ns) * 1e-9);
+  }
+  return out;
+}
+
+amr::DropletParams ClusterSim::rank_params(const amr::DropletParams& base,
+                                           std::uint64_t seed, int rank) {
+  if (rank == 0) return base;  // canonical lane: census + reported mesh
+  Rng rng = Rng::for_rank(seed, static_cast<std::uint64_t>(rank));
+  amr::DropletParams p = base;
+  // Small perturbations of the instability parameters: enough to
+  // decorrelate refinement history and per-routine costs across lanes,
+  // small enough to stay the same workload.
+  p.initial_amplitude *= rng.uniform(0.92, 1.08);
+  p.wave_speed *= rng.uniform(0.96, 1.04);
+  p.growth_rate *= rng.uniform(0.97, 1.03);
+  return p;
+}
+
+ClusterResult ClusterSim::run(const RankFactory& factory,
+                              const amr::DropletParams& params) {
+  const int nlanes =
+      std::clamp(config_.measure_ranks, 1, std::max(1, config_.procs));
+  // Lanes are created sequentially on the coordinating thread, ascending
+  // rank: telemetry source registration (gauge last-writer) and
+  // wear-section naming must not depend on a pool schedule.
+  std::vector<RankInstance> lanes;
+  lanes.reserve(static_cast<std::size_t>(nlanes));
+  for (int m = 0; m < nlanes; ++m) {
+    lanes.push_back(factory(m, rank_params(params, config_.seed, m)));
+    PMO_CHECK_MSG(lanes.back().backend != nullptr &&
+                      lanes.back().workload != nullptr,
+                  "RankFactory must supply both backend and workload");
+  }
+  exec::ThreadPool pool(std::max(1, config_.threads));
+  std::vector<LaneMeasurement> meas(static_cast<std::size_t>(nlanes));
+  std::vector<StepCensus> census;
+  if (nlanes == 1) {
+    // One lane: the pool's parallelism moves inside the lane (chunked
+    // solve gather) instead of across lanes.
+    lanes[0].workload->set_exec(&pool);
+    meas[0] = measure_lane(*lanes[0].backend, *lanes[0].workload,
+                           config_.steps, &census);
+    lanes[0].workload->set_exec(nullptr);
+  } else {
+    // Lane-level parallelism; lanes keep their gathers sequential
+    // (nested parallel_for is rejected by the pool).
+    pool.parallel_for(static_cast<std::size_t>(nlanes), [&](std::size_t m) {
+      meas[m] = measure_lane(*lanes[m].backend, *lanes[m].workload,
+                             config_.steps, m == 0 ? &census : nullptr);
+    });
+  }
+  const std::size_t real_leaves = lanes[0].backend->leaf_count();
+  return model_cluster(config_, meas, std::move(census), real_leaves);
+}
+
+ClusterResult ClusterSim::run(amr::MeshBackend& mesh,
+                              amr::DropletWorkload& wl) {
+  exec::ThreadPool pool(std::max(1, config_.threads));
+  std::vector<LaneMeasurement> meas(1);
+  std::vector<StepCensus> census;
+  wl.set_exec(&pool);
+  meas[0] = measure_lane(mesh, wl, config_.steps, &census);
+  wl.set_exec(nullptr);
+  return model_cluster(config_, meas, std::move(census),
+                       mesh.leaf_count());
 }
 
 }  // namespace pmo::cluster

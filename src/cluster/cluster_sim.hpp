@@ -1,15 +1,31 @@
 // Rank-level cluster simulator (§5 substitution for Titan).
 //
-// Runs the droplet workload for real on one backend at laptop scale,
-// measures per-routine modeled time and structural dynamics (partition
-// migration, ghost boundaries, work distribution), then layers the
-// communication model on top to produce per-step wall-clock times for P
-// simulated ranks at `scale`x the real element count. Weak/strong scaling
-// *shapes* derive from measured costs; only the interconnect constants
-// are modeled (see comm_model.hpp).
+// Runs the droplet workload for real on laptop-scale backends, measures
+// per-routine modeled time and structural dynamics (partition migration,
+// ghost boundaries, work distribution), then layers the communication
+// model on top to produce per-step wall-clock times for P simulated ranks
+// at `scale`x the real element count. Weak/strong scaling *shapes* derive
+// from measured costs; only the interconnect constants are modeled (see
+// comm_model.hpp).
+//
+// Two-phase structure (the execution-layer refactor):
+//  * MEASURE — min(procs, measure_ranks) lanes, each a private
+//    backend+Device running the full workload, execute concurrently on a
+//    `threads`-wide exec::ThreadPool. Lane 0 is canonical (un-jittered
+//    params); it also records the per-step mesh census. With a single
+//    lane the pool instead accelerates the lane's own solve gather
+//    (chunked stencil).
+//  * MODEL — the communication model, telemetry publication and
+//    virtual-clock trace layout run on the coordinating thread only.
+//    Simulated rank r draws its measured costs from lane r %
+//    measure_ranks.
+// Determinism contract (DESIGN.md §7): modeled results are bit-identical
+// for every `threads` value — the thread count only changes wall-clock.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "amr/droplet.hpp"
@@ -54,25 +70,75 @@ struct ClusterConfig {
   CommConfig comm;
   /// Octant wire/record size for communication volumes.
   double octant_bytes = 160.0;
+  /// Total measurement-phase concurrency (pool workers + the
+  /// coordinating thread). Changes wall-clock only: modeled results are
+  /// bit-identical for every value (determinism contract).
+  int threads = 1;
+  /// Measurement lanes — independent backend+workload replicas run for
+  /// real. Capped by procs. Simulated rank r draws its measured costs
+  /// from lane r % measure_ranks; lane 0 is canonical and supplies the
+  /// census and the reported mesh. More lanes decorrelate per-rank costs
+  /// (and give the pool lane-level parallelism); 1 reproduces the
+  /// original single-measurement behaviour exactly.
+  int measure_ranks = 1;
+  /// Base seed for per-lane workload jitter (Rng::for_rank derivation).
+  std::uint64_t seed = 0x5eed5eed5eed5eedull;
 };
 
 struct ClusterResult {
   double total_s = 0.0;
   TimeBreakdown breakdown;  ///< modeled seconds per routine
   std::vector<double> step_seconds;
-  std::size_t real_leaves = 0;      ///< final real mesh size
+  std::size_t real_leaves = 0;      ///< final real mesh size (lane 0)
   double global_elements = 0.0;     ///< real_leaves * scale
   double max_imbalance = 1.0;
   std::size_t total_migrated = 0;   ///< real octants that changed owner
+  int measured_lanes = 1;           ///< measurement replicas actually run
 };
+
+/// Keep-alive handle to a measurement backend. An aliasing shared_ptr is
+/// the intended use: owner = whatever bundle (device + mesh + telemetry
+/// hooks) the backend lives in, pointee = the MeshBackend.
+using RankBackend = std::shared_ptr<amr::MeshBackend>;
+
+/// One measurement lane: a private backend and the workload replica that
+/// drives it. Lanes run concurrently, so each must own BOTH — devices
+/// and workloads are single-logical-owner objects.
+struct RankInstance {
+  RankBackend backend;
+  std::shared_ptr<amr::DropletWorkload> workload;
+};
+
+/// Builds lane `rank`'s instance from its (already jittered) parameters.
+/// Invoked sequentially on the coordinating thread in ascending rank
+/// order, so side effects with order-dependent results (telemetry source
+/// registration, wear-section naming) stay deterministic.
+using RankFactory =
+    std::function<RankInstance(int rank, const amr::DropletParams& params)>;
 
 class ClusterSim {
  public:
   explicit ClusterSim(ClusterConfig config) : config_(config) {}
 
-  /// Runs `config_.steps` steps of `wl` on `mesh` and synthesizes the
-  /// cluster execution profile.
+  /// Multi-lane run: creates min(procs, measure_ranks) lanes via
+  /// `factory`, measures them on a `config.threads`-wide pool, then runs
+  /// the communication model on the coordinating thread.
+  ClusterResult run(const RankFactory& factory,
+                    const amr::DropletParams& params);
+
+  /// Single-lane overload (the original signature): runs `config_.steps`
+  /// steps of `wl` on `mesh` and synthesizes the cluster execution
+  /// profile. With threads > 1 the lane's solve gather runs on the pool;
+  /// modeled results are unchanged.
   ClusterResult run(amr::MeshBackend& mesh, amr::DropletWorkload& wl);
+
+  /// Lane `rank`'s workload parameters: rank 0 returns `base` verbatim
+  /// (the canonical lane), other lanes get small deterministic
+  /// perturbations of the instability parameters drawn from
+  /// Rng::for_rank(seed, rank) — decorrelating lane measurements the way
+  /// distinct subdomains decorrelate real ranks' costs.
+  static amr::DropletParams rank_params(const amr::DropletParams& base,
+                                        std::uint64_t seed, int rank);
 
   const ClusterConfig& config() const noexcept { return config_; }
 

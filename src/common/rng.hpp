@@ -111,7 +111,26 @@ class Rng {
   }
 
   /// Fork a statistically-independent child stream (for per-rank RNGs).
+  /// Stateful: advances *this*. When every rank must derive its stream
+  /// from a shared base seed without threading a parent Rng through, use
+  /// the stateless for_rank() below instead.
   Rng fork() noexcept { return Rng((*this)() ^ 0xa02bdbf7bb3c0a7ull); }
+
+  /// Stateless per-rank stream derivation (splitmix fork).
+  ///
+  /// The child seed is element `rank + 1` of the SplitMix64 sequence
+  /// whose state starts at `base_seed + rank * golden_gamma`: jumping the
+  /// SplitMix64 state by the golden gamma per rank and taking one mixed
+  /// output. Because SplitMix64's output function is a bijection over a
+  /// full-period counter sequence, distinct (base_seed, rank) pairs with
+  /// rank < 2^32 cannot collide for a fixed base seed, and the derivation
+  /// is order-free: any thread can reconstruct rank r's stream from
+  /// (base_seed, r) alone. ClusterSim uses this to give each concurrently
+  /// measured rank replica its own deterministic workload jitter.
+  static Rng for_rank(std::uint64_t base_seed, std::uint64_t rank) noexcept {
+    std::uint64_t state = base_seed + rank * 0x9e3779b97f4a7c15ull;
+    return Rng(splitmix64(state));
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

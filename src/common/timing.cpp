@@ -26,9 +26,18 @@ double SpinCalibration::measure() {
 }
 
 double SpinCalibration::ticks_per_ns() {
+  // Function-local magic static: thread-safe, and covers the (unlikely)
+  // case of a call during another TU's static initialization. The
+  // namespace-scope constant below forces the measurement to happen at
+  // startup, while the process is still single-threaded.
   static const double value = measure();
   return value;
 }
+
+namespace {
+[[maybe_unused]] const double kSpinCalibrationAtStartup =
+    SpinCalibration::ticks_per_ns();
+}  // namespace
 
 void TimeBreakdown::add_seconds(const std::string& bucket, double s) {
   buckets_[bucket] += s;

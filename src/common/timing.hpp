@@ -27,9 +27,18 @@ inline std::uint64_t tsc_now() noexcept {
 }
 
 /// One-time calibration of timestamp ticks per nanosecond.
+///
+/// The value is a process-wide constant: it is measured eagerly during
+/// static initialization (see kSpinCalibrationAtStartup in timing.cpp),
+/// before main() and before any worker threads exist. Calibrating lazily
+/// from inside a parallel region would both serialize first-callers
+/// behind the ~1 ms measurement and — worse — time the calibration
+/// window while sibling workers burn CPU, skewing ticks-per-ns. After
+/// initialization ticks_per_ns() is an immutable read, safe from any
+/// thread.
 class SpinCalibration {
  public:
-  /// Ticks per nanosecond, measured once per process.
+  /// Ticks per nanosecond, measured once per process at startup.
   static double ticks_per_ns();
 
  private:

@@ -1,0 +1,86 @@
+// Minimal fixed-size thread pool for data-parallel index loops.
+//
+// The paper's §5.1 evaluation names a "multi-threaded octree"; this is the
+// repo's execution layer for that: a fixed worker team created once, one
+// `parallel_for` primitive over [0, n) index ranges, per-worker context
+// ids, and first-exception propagation. Deliberately not a task graph —
+// no futures, no work stealing, no nesting. Deterministic decomposition
+// is the caller's contract: indices are handed out dynamically, so a
+// correct caller writes results only to per-index (or per-chunk) slots
+// and never lets the outcome depend on which worker ran an index or in
+// what order. ClusterSim (concurrent rank replicas) and the droplet
+// solver's chunked stencil gather (amr/mesh_backend.hpp) are the two
+// in-tree users; both keep their results bit-identical across thread
+// counts by construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmo::exec {
+
+/// Usable hardware concurrency, always >= 1 (hardware_concurrency() is
+/// allowed to report 0 when unknown).
+int hardware_threads() noexcept;
+
+/// Context id of the calling thread: 0 on the coordinating thread (and on
+/// any thread outside a pool), 1..threads-1 on pool workers. Stable for a
+/// worker's lifetime, so per-context scratch buffers can be indexed by it
+/// without synchronization.
+int context_id() noexcept;
+
+class ThreadPool {
+ public:
+  /// `threads` is the TOTAL concurrency of parallel_for — the calling
+  /// thread participates in every loop, so a pool of `threads` spawns
+  /// `threads - 1` workers. threads <= 1 spawns none and runs every loop
+  /// inline; threads == 0 means hardware_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the participating caller).
+  int size() const noexcept { return static_cast<int>(workers_.size()) + 1; }
+
+  using IndexFn = std::function<void(std::size_t)>;
+
+  /// Runs fn(i) for every i in [0, n) and blocks until all of them
+  /// finished. Indices are claimed atomically one at a time (dynamic
+  /// scheduling; cheap relative to the coarse-grained chunks this repo
+  /// feeds it). If any invocation throws, remaining indices are
+  /// abandoned, every worker quiesces, and the FIRST captured exception
+  /// is rethrown on the calling thread; the pool stays usable. Calling
+  /// parallel_for from inside a task (any pool) throws std::logic_error —
+  /// nesting is rejected, not silently serialized.
+  void parallel_for(std::size_t n, const IndexFn& fn);
+
+ private:
+  void worker_main(int ctx_id);
+  /// Claims and runs indices until the job is exhausted or cancelled.
+  void drain(const IndexFn& fn, std::size_t end);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Job slot, all guarded by mu_ (workers copy what they need while
+  // holding the lock; end_ is immutable for the job's duration).
+  const IndexFn* fn_ = nullptr;
+  std::size_t end_ = 0;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;  ///< workers that have not finished the current job
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  // The only cross-thread hot path: next index to claim.
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace pmo::exec

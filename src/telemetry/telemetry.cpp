@@ -172,7 +172,11 @@ Registry::Source& Registry::Source::operator=(Source&& o) noexcept {
 void Registry::Source::reset() {
   if (reg_ == nullptr) return;
   {
-    std::lock_guard lk(reg_->mu_);
+    // sources_mu_ is held by refresh_sources() for the whole fill pass,
+    // so once this erase returns no fill can still be running against
+    // the publisher that owns this handle (typically a device about to
+    // be destroyed).
+    std::lock_guard lk(reg_->sources_mu_);
     auto& sources = reg_->sources_;
     for (auto it = sources.begin(); it != sources.end(); ++it) {
       if (it->first == id_) {
@@ -198,7 +202,7 @@ Registry::Source Registry::register_source(
   handle.reg_ = this;
   handle.cleanup_ = std::move(cleanup);
   {
-    std::lock_guard lk(mu_);
+    std::lock_guard lk(sources_mu_);
     handle.id_ = next_source_++;
     sources_.emplace_back(handle.id_, std::move(fill));
   }
@@ -210,6 +214,9 @@ void Registry::drop_gauges(std::string_view prefix) {
   for (auto it = gauges_.begin(); it != gauges_.end();) {
     if (it->first.size() >= prefix.size() &&
         it->first.compare(0, prefix.size(), prefix) == 0) {
+      // Retire, don't destroy: another thread may hold a cached
+      // reference from before the drop (see the header contract).
+      retired_gauges_.push_back(std::move(it->second));
       it = gauges_.erase(it);
     } else {
       ++it;
@@ -218,15 +225,12 @@ void Registry::drop_gauges(std::string_view prefix) {
 }
 
 void Registry::refresh_sources() {
-  // Copy the callbacks out so a source may itself create metrics (which
-  // takes the registry mutex).
-  std::vector<std::function<void(Registry&)>> fills;
-  {
-    std::lock_guard lk(mu_);
-    fills.reserve(sources_.size());
-    for (const auto& [id, fn] : sources_) fills.push_back(fn);
-  }
-  for (const auto& fn : fills) fn(*this);
+  // Fills run under sources_mu_ (not mu_ — they take mu_ themselves via
+  // counter()/gauge()), so Source::reset() on another thread blocks
+  // until the pass completes instead of destroying a publisher that a
+  // copied-out callback is about to call.
+  std::lock_guard lk(sources_mu_);
+  for (const auto& [id, fn] : sources_) fn(*this);
 }
 
 Snapshot Registry::snapshot() {
@@ -251,11 +255,15 @@ Snapshot Registry::snapshot() {
 }
 
 void Registry::clear() {
+  {
+    std::lock_guard lk(sources_mu_);
+    sources_.clear();
+  }
   std::lock_guard lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
-  sources_.clear();
+  retired_gauges_.clear();
 }
 
 // ---------------------------------------------------------------------------

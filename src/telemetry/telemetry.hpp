@@ -19,7 +19,11 @@
 // writers, no ordering guarantees between metrics (export may observe a
 // torn *set* of metrics, never a torn value). Name lookup takes a mutex —
 // call sites on hot paths cache the returned reference once (metrics are
-// never deallocated while their registry lives).
+// never deallocated while their registry lives; drop_gauges() retires a
+// gauge from the namespace but keeps the object alive for stale cached
+// references). The whole Registry API — lookup, snapshot(), source
+// registration/reset, drop_gauges() — is safe to call concurrently from
+// any thread; src/exec worker threads publish through it directly.
 //
 // Compile-time kill switch: building with -DPMO_TELEMETRY_ENABLED=0 (the
 // PMO_TELEMETRY=OFF CMake option) turns every increment, record and span
@@ -191,12 +195,20 @@ class Registry {
   Source register_source(std::function<void(Registry&)> fill,
                          std::function<void()> cleanup = {});
   /// Runs every registered source callback (snapshot() does this itself).
+  /// Fills run under the source lock, so a Source handle dying on another
+  /// thread blocks until in-flight fills finish — a fill can never run
+  /// against an already-destroyed publisher. Consequence: a fill must not
+  /// call snapshot()/refresh_sources() or touch Source handles itself.
   void refresh_sources();
 
-  /// Erases every gauge whose name starts with `prefix`. Counters and
+  /// Removes every gauge whose name starts with `prefix` from the
+  /// namespace (a later snapshot no longer reports it). Counters and
   /// histograms are left alone (they are cumulative by contract); gauges
   /// are last-written values, so a gauge outliving its writer reports a
-  /// ghost. Invalidates cached Gauge references under the prefix.
+  /// ghost. Cached Gauge references stay VALID: the dropped objects are
+  /// retired to a graveyard freed only by clear(), so a concurrent
+  /// set() on a stale reference is harmless (it updates an unreachable
+  /// object) instead of a use-after-free.
   void drop_gauges(std::string_view prefix);
 
   Snapshot snapshot();
@@ -206,10 +218,18 @@ class Registry {
   void clear();
 
  private:
+  // Two independent locks: mu_ guards the metric maps, sources_mu_ guards
+  // the source list and is HELD WHILE FILLS RUN (fills take mu_ through
+  // counter()/gauge(), so sources_mu_ must never be acquired while
+  // holding mu_).
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Gauges removed by drop_gauges(): unreachable by name but kept alive
+  /// for cached references. Freed by clear().
+  std::vector<std::unique_ptr<Gauge>> retired_gauges_;
+  mutable std::mutex sources_mu_;
   std::uint64_t next_source_ = 1;
   std::vector<std::pair<std::uint64_t, std::function<void(Registry&)>>>
       sources_;

@@ -1,0 +1,166 @@
+// Determinism contract (DESIGN.md §7): modeled cluster-simulation results
+// are bit-identical for every `threads` value — the execution layer may
+// only change wall-clock. Runs the same multi-lane ClusterSim point with
+// threads=1 and threads=8 and compares every modeled output: the
+// ClusterResult fields, the telemetry counter/gauge deltas (histograms
+// are wall-clock span durations, excluded by contract) and the lane-0
+// device's wear heatmap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace pmo {
+namespace {
+
+struct RunOutput {
+  cluster::ClusterResult result;
+  std::map<std::string, std::uint64_t> counter_delta;
+  std::map<std::string, double> gauges;  ///< post-run values (nvbm.* etc.)
+  std::string wear0;                     ///< lane-0 wear heatmap JSON
+};
+
+RunOutput run_once(int threads) {
+  using bench::Backend;
+  using bench::Bundle;
+  auto& reg = telemetry::Registry::global();
+  const auto before = reg.snapshot();
+
+  // Workloads must outlive the bundles' feature hooks (same ordering rule
+  // as bench_common::run_point).
+  std::vector<std::shared_ptr<amr::DropletWorkload>> workloads;
+  std::vector<std::shared_ptr<Bundle>> bundles;
+
+  cluster::ClusterConfig cfg;
+  cfg.procs = 6;
+  cfg.steps = 3;
+  cfg.scale = 24.0;
+  cfg.threads = threads;
+  cfg.measure_ranks = 3;
+  cluster::ClusterSim sim(cfg);
+
+  amr::DropletParams params;
+  params.min_level = 2;
+  params.max_level = 4;
+  params.dt = 0.1;
+
+  const auto factory = [&](int /*rank*/, const amr::DropletParams& p)
+      -> cluster::RankInstance {
+    auto bundle = std::make_shared<Bundle>(
+        bench::make_bundle(Backend::kPm, std::size_t{64} << 20));
+    auto wl = std::make_shared<amr::DropletWorkload>(p);
+    bench::register_droplet_feature(*bundle, *wl);
+    workloads.push_back(wl);
+    bundles.push_back(bundle);
+    return {cluster::RankBackend(bundle, bundle->mesh.get()), wl};
+  };
+
+  RunOutput out;
+  out.result = sim.run(factory, params);
+  out.wear0 = bundles.front()->device->wear_heatmap_json().dump();
+  // Snapshot while the bundles are alive so the nvbm.* source fills still
+  // run; the delta vs `before` isolates this run's metrics.
+  const auto after = reg.snapshot();
+  const auto delta = after.delta(before);
+  out.counter_delta = delta.counters;
+  out.gauges = delta.gauges;
+  return out;
+}
+
+void expect_same_modeled_outputs(const RunOutput& a, const RunOutput& b) {
+  // ClusterResult: every modeled field, bit-exact (EXPECT_EQ on double is
+  // exact equality — that is the contract under test).
+  EXPECT_EQ(a.result.total_s, b.result.total_s);
+  EXPECT_EQ(a.result.real_leaves, b.result.real_leaves);
+  EXPECT_EQ(a.result.global_elements, b.result.global_elements);
+  EXPECT_EQ(a.result.max_imbalance, b.result.max_imbalance);
+  EXPECT_EQ(a.result.total_migrated, b.result.total_migrated);
+  EXPECT_EQ(a.result.measured_lanes, b.result.measured_lanes);
+  ASSERT_EQ(a.result.step_seconds.size(), b.result.step_seconds.size());
+  for (std::size_t i = 0; i < a.result.step_seconds.size(); ++i) {
+    EXPECT_EQ(a.result.step_seconds[i], b.result.step_seconds[i])
+        << "step " << i;
+  }
+  auto buckets_a = a.result.breakdown.buckets();
+  auto buckets_b = b.result.breakdown.buckets();
+  std::sort(buckets_a.begin(), buckets_a.end());
+  std::sort(buckets_b.begin(), buckets_b.end());
+  ASSERT_EQ(buckets_a, buckets_b);
+  for (const auto& name : buckets_a) {
+    EXPECT_EQ(a.result.breakdown.seconds(name),
+              b.result.breakdown.seconds(name))
+        << "breakdown bucket " << name;
+  }
+
+  // Telemetry counters: modeled event counts, deterministic by contract.
+  ASSERT_EQ(a.counter_delta.size(), b.counter_delta.size());
+  for (const auto& [name, value] : a.counter_delta) {
+    const auto it = b.counter_delta.find(name);
+    ASSERT_NE(it, b.counter_delta.end()) << "counter " << name;
+    EXPECT_EQ(value, it->second) << "counter " << name;
+  }
+  // Gauges (nvbm.* device state, cluster gauges): source fills run in
+  // registration order, so the last-registered lane is the last writer in
+  // both runs; its modeled device state is deterministic, so identical.
+  ASSERT_EQ(a.gauges.size(), b.gauges.size());
+  for (const auto& [name, value] : a.gauges) {
+    const auto it = b.gauges.find(name);
+    ASSERT_NE(it, b.gauges.end()) << "gauge " << name;
+    EXPECT_EQ(value, it->second) << "gauge " << name;
+  }
+
+  // Device wear: per-line modeled write counts of the canonical lane.
+  EXPECT_EQ(a.wear0, b.wear0);
+}
+
+TEST(Determinism, ModeledResultsBitIdenticalAcrossThreadCounts) {
+  const RunOutput t1 = run_once(1);
+  const RunOutput t8 = run_once(8);
+  expect_same_modeled_outputs(t1, t8);
+}
+
+TEST(Determinism, SingleLaneLegacyOverloadMatchesFactoryPath) {
+  // measure_ranks=1 through the factory must reproduce the legacy
+  // single-backend overload exactly (same lane-0 measurement path).
+  using bench::Backend;
+  auto run = [](bool legacy) {
+    auto bundle = bench::make_bundle(Backend::kPm, std::size_t{64} << 20);
+    amr::DropletWorkload wl{amr::DropletParams{}};
+    bench::register_droplet_feature(bundle, wl);
+    cluster::ClusterConfig cfg;
+    cfg.procs = 4;
+    cfg.steps = 2;
+    cfg.scale = 10.0;
+    cfg.threads = 2;
+    cfg.measure_ranks = 1;
+    cluster::ClusterSim sim(cfg);
+    if (legacy) return sim.run(*bundle.mesh, wl);
+    // Factory path reusing the same pre-built lane.
+    amr::DropletParams params;  // defaults, same as wl above
+    auto wl2 = std::make_shared<amr::DropletWorkload>(params);
+    auto bundle2 = std::make_shared<bench::Bundle>(
+        bench::make_bundle(Backend::kPm, std::size_t{64} << 20));
+    bench::register_droplet_feature(*bundle2, *wl2);
+    return sim.run(
+        [&](int, const amr::DropletParams&) -> cluster::RankInstance {
+          return {cluster::RankBackend(bundle2, bundle2->mesh.get()), wl2};
+        },
+        params);
+  };
+  const auto legacy = run(true);
+  const auto factory = run(false);
+  EXPECT_EQ(legacy.total_s, factory.total_s);
+  EXPECT_EQ(legacy.real_leaves, factory.real_leaves);
+  ASSERT_EQ(legacy.step_seconds.size(), factory.step_seconds.size());
+  for (std::size_t i = 0; i < legacy.step_seconds.size(); ++i) {
+    EXPECT_EQ(legacy.step_seconds[i], factory.step_seconds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pmo

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -159,6 +160,77 @@ TEST(Registry, DropGaugesErasesByPrefixOnly) {
   EXPECT_EQ(snap.gauges.count("nvbm.max_wear"), 0u);
   EXPECT_EQ(snap.gauge("mesh.leaves"), 100.0);
   EXPECT_EQ(snap.counter("nvbm.cow"), 2u);  // counters untouched
+}
+
+TEST(Registry, CachedGaugeReferenceSurvivesDropGauges) {
+  // drop_gauges retires the object to a graveyard instead of freeing it:
+  // a call site that cached the reference (the documented hot-path idiom)
+  // may keep writing through it — the writes just become unobservable.
+  Registry reg;
+  Gauge& g = reg.gauge("nvbm.writes");
+  g.set(1.0);
+  reg.drop_gauges("nvbm.");
+  g.set(2.0);  // must not be a use-after-free
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(reg.snapshot().gauges.count("nvbm.writes"), 0u);
+  // A fresh lookup creates a NEW gauge under the old name.
+  Gauge& g2 = reg.gauge("nvbm.writes");
+  EXPECT_NE(&g2, &g);
+  EXPECT_EQ(g2.value(), 0.0);
+}
+
+TEST(Registry, ConcurrentSnapshotSourceChurnAndDropGauges) {
+  // The §exec refactor's thread-safety contract: snapshot(),
+  // register_source()/Source::reset(), drop_gauges() and metric lookup
+  // may all race. Run them hard from four threads; TSan (the tsan_smoke
+  // label builds this test with PMO_SANITIZE=thread) checks the locking,
+  // the assertions check nothing is lost or double-run.
+  Registry reg;
+  std::atomic<bool> go{false};
+  std::atomic<int> fills{0};
+  constexpr int kIters = 200;
+
+  std::thread snapshotter([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIters; ++i) {
+      const auto snap = reg.snapshot();
+      (void)snap;
+    }
+  });
+  std::thread churner([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIters; ++i) {
+      auto src = reg.register_source(
+          [&fills](Registry& r) {
+            fills.fetch_add(1);
+            r.gauge("churn.value").set(1.0);
+          },
+          [&reg] { reg.drop_gauges("churn."); });
+      reg.refresh_sources();
+      src.reset();  // runs the cleanup -> drop_gauges vs snapshot race
+    }
+  });
+  std::thread dropper([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIters; ++i) {
+      reg.gauge("drop.me").set(static_cast<double>(i));
+      reg.drop_gauges("drop.");
+    }
+  });
+  std::thread writer([&] {
+    while (!go.load()) {}
+    Counter& c = reg.counter("work.items");
+    for (int i = 0; i < kIters; ++i) c.add();
+  });
+  go.store(true);
+  snapshotter.join();
+  churner.join();
+  dropper.join();
+  writer.join();
+
+  EXPECT_GE(fills.load(), kIters);  // every explicit refresh ran the fill
+  EXPECT_EQ(reg.snapshot().counter("work.items"),
+            static_cast<std::uint64_t>(kIters));
 }
 
 TEST(Span, RecordsDurationHistogram) {
