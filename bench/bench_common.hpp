@@ -54,6 +54,34 @@ inline int bench_threads() {
   return exec::hardware_threads();
 }
 
+/// Set by BenchReport when the binary was invoked with `--node-cache
+/// <bytes|off>` (flag beats environment). -1 = not given.
+inline long long& bench_node_cache_override() {
+  static long long v = -1;
+  return v;
+}
+
+/// Resolved node-cache override: `--node-cache` flag >
+/// PMOCTREE_BENCH_NODE_CACHE env ("off" or a byte count). -1 when neither
+/// is present (PmConfig's default budget then applies).
+inline long long bench_node_cache_env() {
+  if (bench_node_cache_override() >= 0) return bench_node_cache_override();
+  if (const char* env = std::getenv("PMOCTREE_BENCH_NODE_CACHE")) {
+    if (std::string(env) == "off") return 0;
+    const long long v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return -1;
+}
+
+/// Effective hot-node-cache budget (bytes; 0 = cache and cursors off) the
+/// PM bundles of this bench run with. Recorded in the JSON config block.
+inline std::size_t bench_node_cache() {
+  const long long v = bench_node_cache_env();
+  return v >= 0 ? static_cast<std::size_t>(v)
+                : pmoctree::PmConfig{}.node_cache_bytes;
+}
+
 inline nvbm::Config device_config() {
   nvbm::Config c;  // Table 2 defaults, modeled latency
   c.latency_mode = nvbm::LatencyMode::kModeled;
@@ -118,7 +146,10 @@ inline Bundle make_bundle(Backend kind, std::size_t capacity,
   b.device = std::make_unique<nvbm::Device>(capacity, device_config());
   switch (kind) {
     case Backend::kPm: {
-      auto mesh = std::make_unique<amr::PmOctreeBackend>(*b.device, opts.pm);
+      pmoctree::PmConfig pm = opts.pm;
+      if (const long long nc = bench_node_cache_env(); nc >= 0)
+        pm.node_cache_bytes = static_cast<std::size_t>(nc);
+      auto mesh = std::make_unique<amr::PmOctreeBackend>(*b.device, pm);
       b.pm = mesh.get();
       b.mesh = std::move(mesh);
       break;
@@ -214,6 +245,8 @@ struct PointOpts {
 struct PointResult {
   cluster::ClusterResult cluster;
   std::uint64_t nvbm_writes = 0;   ///< real-run NVBM write ops
+  std::uint64_t nvbm_lines_read = 0;   ///< real-run NVBM medium line reads
+  std::uint64_t nvbm_cached_reads = 0;  ///< node-cache hits (DRAM latency)
   std::size_t eviction_merges = 0;  ///< real-run C0->C1 pressure merges
   std::size_t dram_budget_bytes = 0;
 };
@@ -261,6 +294,8 @@ inline PointResult run_point(Backend kind, int procs, double target_global,
   };
   out.cluster = sim.run(factory, params);
   out.nvbm_writes = bundles.front()->mesh->nvbm_writes();
+  out.nvbm_lines_read = bundles.front()->device->counters().lines_read;
+  out.nvbm_cached_reads = bundles.front()->device->counters().cached_reads;
   if (bundles.front()->pm != nullptr) {
     out.eviction_merges = bundles.front()->pm->tree().eviction_merges();
   }

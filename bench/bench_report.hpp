@@ -37,12 +37,15 @@ namespace pmo::bench {
 class BenchReport {
  public:
   /// `name` is the binary name (bench_<name>.json default path); argv is
-  /// scanned for `--json <path>`, `--trace <path>` and `--threads <N>`;
-  /// other arguments are left alone (micro_ops forwards its argv to
-  /// google-benchmark afterwards). `--trace` starts a TraceSession
-  /// covering the whole bench run; write() exports it as Chrome
-  /// trace-event JSON. `--threads` sets the measurement-phase concurrency
-  /// (see bench_threads(); flag beats PMOCTREE_BENCH_THREADS).
+  /// scanned for `--json <path>`, `--trace <path>`, `--threads <N>` and
+  /// `--node-cache <bytes|off>`; other arguments are left alone
+  /// (micro_ops forwards its argv to google-benchmark afterwards).
+  /// `--trace` starts a TraceSession covering the whole bench run;
+  /// write() exports it as Chrome trace-event JSON. `--threads` sets the
+  /// measurement-phase concurrency (see bench_threads(); flag beats
+  /// PMOCTREE_BENCH_THREADS). `--node-cache` sets the PM-octree hot-node
+  /// cache budget for every PM bundle (flag beats
+  /// PMOCTREE_BENCH_NODE_CACHE; "off" = 0 = re-descend baseline).
   BenchReport(std::string name, std::string title, int argc = 0,
               char** argv = nullptr)
       : name_(std::move(name)),
@@ -54,6 +57,11 @@ class BenchReport {
       if (std::string(argv[i]) == "--threads") {
         const int v = std::atoi(argv[i + 1]);
         if (v > 0) bench_threads_override() = v;
+      }
+      if (std::string(argv[i]) == "--node-cache") {
+        const std::string v = argv[i + 1];
+        bench_node_cache_override() =
+            v == "off" ? 0 : std::atoll(v.c_str());
       }
     }
     if (!trace_path_.empty()) {
@@ -112,6 +120,10 @@ class BenchReport {
     // JSONs modulo `config` + wall-clock histograms checks bit-identity.
     json::Value config = json::Value::object();
     config["threads"] = bench_threads();
+    // Unlike threads, the node-cache budget DOES change modeled counters
+    // (that is its purpose) — recording it keeps cache-on/off JSON pairs
+    // honestly labeled.
+    config["node_cache"] = bench_node_cache();
     root["config"] = std::move(config);
     json::Value table = json::Value::object();
     json::Value headers = json::Value::array();

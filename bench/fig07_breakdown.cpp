@@ -60,6 +60,12 @@ int main(int argc, char** argv) {
     for (const auto& rm : cluster::kRoutineMetrics) {
       point[rm.metric] = delta.counter(rm.metric);
     }
+    // Lane-0 device read traffic: `lines_read` is what actually reached
+    // the NVBM medium, `cached_reads` the node-cache hits served at DRAM
+    // latency — the pair that shows the read-path acceleration in the
+    // JSON (compare a default run against `--node-cache off`).
+    point["nvbm_lines_read"] = static_cast<double>(res.nvbm_lines_read);
+    point["nvbm_cached_reads"] = static_cast<double>(res.nvbm_cached_reads);
     routine_ns[std::to_string(procs)] = std::move(point);
   }
   report.print_table(std::cout);

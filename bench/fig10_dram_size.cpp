@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
 
   report.begin_table({"config", "C0 capacity", "time(s)", "C0->C1 merges",
                       "NVBM writes"});
+  namespace json = telemetry::json;
+  json::Value read_traffic = json::Value::object();
   for (const double gb : {1.0, 2.0, 4.0, 8.0}) {
     PointOpts opts;
     opts.c0_octants_per_node = (gb / 20.0) * octants_per_rank;
@@ -42,7 +44,14 @@ int main(int argc, char** argv) {
                TablePrinter::num(res.cluster.total_s, 1),
                std::to_string(res.eviction_merges),
                std::to_string(res.nvbm_writes)});
+    // Smaller C0 -> more NVBM descents -> more for the node cache to
+    // absorb; rerun with --node-cache off to see the uncached traffic.
+    json::Value point = json::Value::object();
+    point["nvbm_lines_read"] = static_cast<double>(res.nvbm_lines_read);
+    point["nvbm_cached_reads"] = static_cast<double>(res.nvbm_cached_reads);
+    read_traffic[TablePrinter::num(gb, 0) + "GB"] = std::move(point);
   }
+  report.set("read_traffic", std::move(read_traffic));
   {
     PointOpts opts;
     const auto ooc = run_point(Backend::kEtree, procs, global, steps,

@@ -73,6 +73,26 @@ void BM_DeviceWriteInjected(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceWriteInjected);
 
+void BM_DeviceWriteCrashSim(benchmark::State& state) {
+  // The store-heavy write path with crash simulation on: every write is a
+  // line-granular dirty-bitmap test-and-set, periodically drained by
+  // flush_all (the persist-point writeback). This is the path the bitmap
+  // replaced an unordered_set on.
+  nvbm::Config cfg = bench::device_config();
+  cfg.crash_sim = true;
+  nvbm::Device dev(16 << 20, cfg);
+  std::uint64_t v = 42;
+  std::uint64_t off = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    dev.write(off, &v, sizeof(v));
+    off = (off + 64) & ((16 << 20) - 64);
+    if ((++n & 0xffff) == 0) dev.flush_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeviceWriteCrashSim);
+
 void BM_HeapAllocFree(benchmark::State& state) {
   nvbm::Device dev(64 << 20, bench::device_config());
   nvbm::Heap heap(dev);
@@ -252,8 +272,10 @@ int main(int argc, char** argv) {
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg(argv[i]);
-    if ((arg == "--json" || arg == "--trace") && i + 1 < argc) {
-      ++i;  // skip the flag and its path
+    if ((arg == "--json" || arg == "--trace" || arg == "--threads" ||
+         arg == "--node-cache") &&
+        i + 1 < argc) {
+      ++i;  // skip the flag and its value
       continue;
     }
     args.push_back(argv[i]);

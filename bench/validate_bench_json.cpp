@@ -91,7 +91,9 @@ int main(int argc, char** argv) {
   // measurement-phase thread count.
   const Value* config = require(*doc, "config", Value::Type::kObject, &err);
   if (config == nullptr) return fail(err);
-  if (require(*config, "threads", Value::Type::kNumber, &err) == nullptr) {
+  if (require(*config, "threads", Value::Type::kNumber, &err) == nullptr ||
+      require(*config, "node_cache", Value::Type::kNumber, &err) ==
+          nullptr) {
     return fail("config: " + err);
   }
 
@@ -118,6 +120,29 @@ int main(int argc, char** argv) {
   for (const char* key : {"counters", "gauges", "histograms"}) {
     if (require(*metrics, key, Value::Type::kObject, &err) == nullptr) {
       return fail("metrics: " + err);
+    }
+  }
+
+  // Benches that exercised a PM-octree (any pmoctree.* counter present)
+  // must report the hot-node-cache counters so cache-on/off comparisons
+  // never chase a silently-missing metric. Benches with no PM-octree
+  // (e.g. a filtered micro_ops run) are exempt.
+  const Value& counters = *metrics->find("counters");
+  bool has_pmoctree = false;
+  for (const auto& [name, val] : counters.members()) {
+    if (name.rfind("pmoctree.", 0) == 0) {
+      has_pmoctree = true;
+      break;
+    }
+  }
+  if (has_pmoctree) {
+    for (const char* key :
+         {"pmoctree.cache.hits", "pmoctree.cache.misses",
+          "pmoctree.cache.evictions", "pmoctree.cache.invalidations"}) {
+      if (counters.find(key) == nullptr) {
+        return fail("metrics.counters missing \"" + std::string(key) +
+                    "\" despite pmoctree activity");
+      }
     }
   }
 

@@ -11,14 +11,28 @@ const CellData* LeafChunk::find(const LocCode& code) const noexcept {
   if (leaves == 0) return nullptr;
   // Same containment search as cluster::Partition::owner_of: the
   // candidate is the last leaf whose key is <= code's key; it covers
-  // `code` iff code lies in its octant.
-  const LocCode* first = codes;
-  const LocCode* last = codes + leaves;
-  const LocCode* it = std::upper_bound(
-      first, last, code,
-      [](const LocCode& a, const LocCode& b) { return a.key() < b.key(); });
-  if (it == first) return nullptr;
-  const std::size_t idx = static_cast<std::size_t>(it - first) - 1;
+  // `code` iff code lies in its octant. Stencil gathers probe in
+  // near-Morton order, so first try the last candidate (and its right
+  // neighbor) before paying for the binary search.
+  std::size_t idx;
+  const std::size_t h = hint < leaves ? hint : 0;
+  if (codes[h].key() <= code.key() &&
+      (h + 1 == leaves || code.key() < codes[h + 1].key())) {
+    idx = h;
+  } else if (h + 2 <= leaves && codes[h + 1].key() <= code.key() &&
+             (h + 2 == leaves || code.key() < codes[h + 2].key())) {
+    idx = h + 1;
+  } else {
+    const LocCode* first = codes;
+    const LocCode* last = codes + leaves;
+    const LocCode* it = std::upper_bound(
+        first, last, code, [](const LocCode& a, const LocCode& b) {
+          return a.key() < b.key();
+        });
+    if (it == first) return nullptr;
+    idx = static_cast<std::size_t>(it - first) - 1;
+  }
+  hint = idx;
   const LocCode& leaf = codes[idx];
   if (leaf.level() <= code.level()) {
     return leaf.contains(code) ? &cells[idx] : nullptr;

@@ -43,9 +43,17 @@ struct LeafChunk {
 
   /// Data of the leaf whose octant contains `code` (the snapshot
   /// equivalent of MeshBackend::sample, minus device charging): binary
-  /// containment search over the sorted leaf array. Returns nullptr when
-  /// no leaf covers the code (outside the refined domain).
+  /// containment search over the sorted leaf array, short-circuited by
+  /// `hint` when probes arrive in near-Morton order (the stencil gather
+  /// pattern). Returns nullptr when no leaf covers the code (outside the
+  /// refined domain).
   const CellData* find(const LocCode& code) const noexcept;
+
+  /// Last candidate index served by find(). Purely an acceleration:
+  /// find() verifies the hint before using it, so results never depend
+  /// on probe order. Safe despite `mutable`: each chunk object is
+  /// confined to a single callback invocation (one worker).
+  mutable std::size_t hint = 0;
 };
 
 /// Per-chunk callback of sweep_leaves_chunked.

@@ -13,6 +13,11 @@ pmoctree::PmConfig dram_only_config() {
   pm.dram_budget_bytes = std::size_t{1} << 50;
   pm.enable_transform = false;
   pm.gc_on_persist = false;
+  // No NVBM-resident octants -> the hot-node cache would never hit; keep
+  // it (and the traversal cursors) off so this baseline emits no
+  // pmoctree.cache/cursor telemetry that could be mistaken for the
+  // PM-octree under test.
+  pm.node_cache_bytes = 0;
   return pm;
 }
 

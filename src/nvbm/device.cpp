@@ -13,7 +13,12 @@ Device::Device(std::size_t capacity, Config config)
   PMO_CHECK_MSG((config_.cache_line & (config_.cache_line - 1)) == 0,
                 "cache line size must be a power of two");
   working_.resize(capacity_);
-  if (config_.crash_sim) durable_.resize(capacity_);
+  if (config_.crash_sim) {
+    durable_.resize(capacity_);
+    const std::size_t lines =
+        (capacity_ + config_.cache_line - 1) / config_.cache_line;
+    dirty_words_.resize((lines + 63) / 64, 0);
+  }
   if (config_.track_wear)
     wear_.resize((capacity_ + config_.cache_line - 1) / config_.cache_line);
 }
@@ -68,8 +73,14 @@ void Device::mark_dirty(std::uint64_t offset, std::size_t len) {
     ++wear_buckets_[b];
   }
   if (config_.crash_sim) {
-    for (std::uint64_t line = first; line <= last; ++line)
-      dirty_.insert(line);
+    for (std::uint64_t line = first; line <= last; ++line) {
+      const std::uint64_t mask = std::uint64_t{1} << (line & 63);
+      std::uint64_t& word = dirty_words_[line >> 6];
+      if ((word & mask) == 0) {
+        word |= mask;
+        ++dirty_count_;
+      }
+    }
   }
   if (config_.track_wear) {
     for (std::uint64_t line = first; line <= last; ++line) ++wear_[line];
@@ -115,6 +126,31 @@ void Device::touch_write(std::uint64_t offset, std::size_t len) {
   mark_dirty(offset, len);
 }
 
+void Device::charge_cached_read(std::size_t len) {
+  ++counters_.cached_reads;
+  const std::size_t lines =
+      (len + config_.cache_line - 1) / config_.cache_line;
+  counters_.cached_lines += lines;
+  switch (config_.latency_mode) {
+    case LatencyMode::kNone:
+      break;
+    case LatencyMode::kModeled:
+      counters_.modeled_cached_ns += lines * config_.dram_read_ns;
+      break;
+    case LatencyMode::kInjected:
+      counters_.modeled_cached_ns += lines * config_.dram_read_ns;
+      spin_ns(lines * config_.dram_read_ns);
+      break;
+  }
+}
+
+void Device::evict_line(std::uint64_t line) {
+  const std::uint64_t begin = line * config_.cache_line;
+  const std::size_t n =
+      std::min<std::size_t>(config_.cache_line, capacity_ - begin);
+  std::memcpy(durable_.data() + begin, working_.data() + begin, n);
+}
+
 void Device::flush(std::uint64_t offset, std::size_t len) {
   ++counters_.flushes;
   if (!config_.crash_sim || len == 0) return;
@@ -123,13 +159,12 @@ void Device::flush(std::uint64_t offset, std::size_t len) {
       std::min<std::uint64_t>((offset + len - 1) / config_.cache_line,
                               capacity_ / config_.cache_line);
   for (std::uint64_t line = first; line <= last; ++line) {
-    const auto it = dirty_.find(line);
-    if (it == dirty_.end()) continue;
-    const std::uint64_t begin = line * config_.cache_line;
-    const std::size_t n =
-        std::min<std::size_t>(config_.cache_line, capacity_ - begin);
-    std::memcpy(durable_.data() + begin, working_.data() + begin, n);
-    dirty_.erase(it);
+    const std::uint64_t mask = std::uint64_t{1} << (line & 63);
+    std::uint64_t& word = dirty_words_[line >> 6];
+    if ((word & mask) == 0) continue;
+    evict_line(line);
+    word &= ~mask;
+    --dirty_count_;
   }
 }
 
@@ -138,32 +173,23 @@ void Device::persist_barrier() { ++counters_.barriers; }
 void Device::flush_all() {
   ++counters_.flushes;
   if (!config_.crash_sim) return;
-  for (const std::uint64_t line : dirty_) {
-    const std::uint64_t begin = line * config_.cache_line;
-    const std::size_t n =
-        std::min<std::size_t>(config_.cache_line, capacity_ - begin);
-    std::memcpy(durable_.data() + begin, working_.data() + begin, n);
-  }
-  dirty_.clear();
+  drain_dirty([this](std::uint64_t line) { evict_line(line); });
 }
 
 std::size_t Device::simulate_crash(Rng& rng, double survive_p) {
   PMO_CHECK_MSG(config_.crash_sim,
                 "simulate_crash requires Config::crash_sim = true");
-  const std::size_t dirty_at_crash = dirty_.size();
+  const std::size_t dirty_at_crash = dirty_count_;
   std::size_t lost = 0;
-  for (const std::uint64_t line : dirty_) {
-    const std::uint64_t begin = line * config_.cache_line;
-    const std::size_t n =
-        std::min<std::size_t>(config_.cache_line, capacity_ - begin);
+  // Ascending line order: each dirty line independently either reached
+  // the medium (spontaneous eviction) or is lost.
+  drain_dirty([&](std::uint64_t line) {
     if (rng.chance(survive_p)) {
-      // Spontaneous eviction made this line durable before the failure.
-      std::memcpy(durable_.data() + begin, working_.data() + begin, n);
+      evict_line(line);
     } else {
       ++lost;
     }
-  }
-  dirty_.clear();
+  });
   // Reboot: the CPU-visible image is whatever the medium holds.
   std::memcpy(working_.data(), durable_.data(), capacity_);
   telemetry::trace::audit(
@@ -189,8 +215,12 @@ void Device::publish(telemetry::Registry& reg,
         static_cast<double>(counters_.modeled_read_ns));
   gauge("modeled_write_ns",
         static_cast<double>(counters_.modeled_write_ns));
+  gauge("cached_reads", static_cast<double>(counters_.cached_reads));
+  gauge("cached_lines", static_cast<double>(counters_.cached_lines));
+  gauge("modeled_cached_ns",
+        static_cast<double>(counters_.modeled_cached_ns));
   gauge("write_fraction", counters_.write_fraction());
-  gauge("dirty_lines", static_cast<double>(dirty_.size()));
+  gauge("dirty_lines", static_cast<double>(dirty_count_));
   if (config_.track_wear) {
     gauge("max_wear", static_cast<double>(max_wear()));
     gauge("mean_wear", mean_wear());

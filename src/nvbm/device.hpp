@@ -19,12 +19,12 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -65,6 +65,13 @@ struct Counters {
   std::uint64_t barriers = 0;       ///< persist_barrier (sfence) calls
   std::uint64_t modeled_read_ns = 0;
   std::uint64_t modeled_write_ns = 0;
+  /// Reads of NVBM-resident data absorbed by a DRAM-side cache above the
+  /// device (the PM-octree node cache). Charged at DRAM read latency —
+  /// they never touch the medium, so they do not count into reads /
+  /// lines_read / total_accesses().
+  std::uint64_t cached_reads = 0;
+  std::uint64_t cached_lines = 0;
+  std::uint64_t modeled_cached_ns = 0;
 
   std::uint64_t total_accesses() const noexcept { return reads + writes; }
   double write_fraction() const noexcept {
@@ -72,7 +79,7 @@ struct Counters {
     return t == 0 ? 0.0 : static_cast<double>(writes) / static_cast<double>(t);
   }
   std::uint64_t modeled_ns() const noexcept {
-    return modeled_read_ns + modeled_write_ns;
+    return modeled_read_ns + modeled_write_ns + modeled_cached_ns;
   }
 };
 
@@ -142,6 +149,12 @@ class Device {
   void touch_read(std::uint64_t offset, std::size_t len);
   void touch_write(std::uint64_t offset, std::size_t len);
 
+  /// Accounting for a read of NVBM-resident data served by a DRAM-side
+  /// cache layered above the device: charged at DRAM read latency into
+  /// the cached_* counters so the modeled time reflects the hit without
+  /// inflating the medium's read traffic.
+  void charge_cached_read(std::size_t len);
+
   /// clflush analog: guarantees the given range is durable.
   void flush(std::uint64_t offset, std::size_t len);
   /// sfence analog. With our deterministic flush() this only counts, but
@@ -152,7 +165,7 @@ class Device {
   /// "durable" then).
   void flush_all();
   /// Number of dirty (written, unflushed) cache lines.
-  std::size_t dirty_lines() const noexcept { return dirty_.size(); }
+  std::size_t dirty_lines() const noexcept { return dirty_count_; }
 
   /// Simulated power failure + reboot: every dirty line independently
   /// either reached the medium or is lost (probability `survive_p` each);
@@ -188,12 +201,33 @@ class Device {
   void charge_write(std::size_t lines);
   std::size_t line_span(std::uint64_t offset, std::size_t len) const noexcept;
   void mark_dirty(std::uint64_t offset, std::size_t len);
+  /// Copies line `line` of the working image to the durable image.
+  void evict_line(std::uint64_t line);
+  /// Invokes fn(line) for every dirty line in ascending order, then
+  /// clears the bitmap. The hot loop of flush_all / simulate_crash.
+  template <typename Fn>
+  void drain_dirty(Fn&& fn) {
+    for (std::size_t w = 0; w < dirty_words_.size(); ++w) {
+      std::uint64_t word = dirty_words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        fn(static_cast<std::uint64_t>(w) * 64 + static_cast<unsigned>(bit));
+      }
+      dirty_words_[w] = 0;
+    }
+    dirty_count_ = 0;
+  }
 
   std::size_t capacity_;
   Config config_;
   std::vector<std::byte> working_;
   std::vector<std::byte> durable_;  ///< only when crash_sim
-  std::unordered_set<std::uint64_t> dirty_;  ///< dirty line indices
+  /// Line-granular dirty bitmap (one bit per cache line, only when
+  /// crash_sim): mark_dirty is a test-and-set per line, far cheaper than
+  /// the hash-set insert it replaces on the store-heavy write path.
+  std::vector<std::uint64_t> dirty_words_;
+  std::size_t dirty_count_ = 0;
   std::vector<std::uint32_t> wear_;          ///< only when track_wear
   std::array<std::uint64_t, kWearBuckets> wear_buckets_{};
   Counters counters_;

@@ -84,14 +84,36 @@ void Heap::write_high_water(std::uint64_t hw) {
   device_.persist_barrier();
 }
 
+void Heap::reserve_class(std::size_t size) {
+  const std::size_t klass = rounded(size);
+  if (klass == fast_klass_) return;
+  if (fast_klass_ != 0 && !fast_list_.empty()) {
+    auto& old = free_lists_[fast_klass_];
+    old.insert(old.end(), fast_list_.begin(), fast_list_.end());
+    fast_list_.clear();
+  }
+  fast_klass_ = klass;
+  if (const auto it = free_lists_.find(klass); it != free_lists_.end()) {
+    fast_list_ = std::move(it->second);
+    free_lists_.erase(it);
+  }
+}
+
 std::uint64_t Heap::alloc(std::size_t size) {
   PMO_CHECK_MSG(size > 0 && size <= 0xffffffffu, "bad allocation size");
   const std::size_t klass = rounded(size);
 
-  if (auto it = free_lists_.find(klass);
-      it != free_lists_.end() && !it->second.empty()) {
-    const std::uint64_t payload = it->second.back();
+  std::uint64_t reuse = 0;
+  if (klass == fast_klass_ && !fast_list_.empty()) {
+    reuse = fast_list_.back();
+    fast_list_.pop_back();
+  } else if (auto it = free_lists_.find(klass);
+             it != free_lists_.end() && !it->second.empty()) {
+    reuse = it->second.back();
     it->second.pop_back();
+  }
+  if (reuse != 0) {
+    const std::uint64_t payload = reuse;
     const std::uint64_t hdr_off = payload - sizeof(ObjHeader);
     ObjHeader oh{static_cast<std::uint32_t>(size), kAllocatedFlag};
     device_.store(hdr_off, oh);
@@ -126,7 +148,11 @@ void Heap::free(std::uint64_t payload_offset) {
   device_.store(hdr_off, oh);
   device_.flush(hdr_off, sizeof(oh));
   const std::size_t klass = rounded(oh.payload_size);
-  free_lists_[klass].push_back(payload_offset);
+  if (klass == fast_klass_) {
+    fast_list_.push_back(payload_offset);
+  } else {
+    free_lists_[klass].push_back(payload_offset);
+  }
   free_bytes_ += klass;
   ++free_objects_;
 }

@@ -54,6 +54,13 @@ class Heap {
   /// Throws OutOfSpaceError when the device is exhausted.
   std::uint64_t alloc(std::size_t size);
 
+  /// Installs a dedicated fast-path free list for `size`'s class (the
+  /// PM-octree registers sizeof(PNode), which dominates allocations):
+  /// alloc/free of that class skip the unordered_map lookup entirely.
+  /// Existing free entries of the class migrate to the fast list; calling
+  /// again with a different size migrates them back first.
+  void reserve_class(std::size_t size);
+
   /// Returns the object to the (volatile) free lists and durably marks the
   /// object header free so a post-crash attach sees it as free.
   void free(std::uint64_t payload_offset);
@@ -113,6 +120,9 @@ class Heap {
   // so exact-size reuse recycles nearly everything (paper §3.2: freed NVBM
   // regions are reused for new octants before GC runs).
   std::unordered_map<std::size_t, std::vector<std::uint64_t>> free_lists_;
+  // Fast path for the one size class that dominates (see reserve_class).
+  std::size_t fast_klass_ = 0;
+  std::vector<std::uint64_t> fast_list_;
   std::uint64_t free_bytes_ = 0;
   std::uint64_t free_objects_ = 0;
 };

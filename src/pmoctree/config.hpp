@@ -45,6 +45,13 @@ struct PmConfig {
   /// Cache-line size used to convert node accesses to latency units.
   std::size_t cache_line = 64;
 
+  /// DRAM budget (bytes) of the epoch-validated hot-node cache on the
+  /// descent read path: NVBM-resident octants read via the node accessor
+  /// are kept in DRAM and served at DRAM latency until invalidated by the
+  /// CoW epoch rule (see DESIGN.md §8). 0 disables the cache AND the
+  /// traversal cursors — the pure re-descend-from-root baseline.
+  std::size_t node_cache_bytes = std::size_t{4} << 20;
+
   /// Keep a remote replica of V_{i-1} and ship deltas at each persist
   /// (§3.4 second scenario). Costs are modeled through cluster::LinkModel.
   bool enable_replica = false;

@@ -1,0 +1,160 @@
+// Epoch-validated DRAM cache of NVBM-resident PM-octree nodes.
+//
+// The descent path re-reads the same root-proximal octants for every
+// operation; this cache keeps a fixed DRAM budget of those PNodes keyed
+// by NVBM heap offset so repeat reads cost DRAM latency instead of NVBM
+// latency. Coherence leans on the tree's CoW epoch rule (pm_octree.hpp):
+//
+//  * every entry is stamped with the tree epoch at insertion, and lookup
+//    only returns entries whose stamp equals the CURRENT epoch. persist()
+//    bumping the epoch therefore bulk-invalidates the whole cache in
+//    O(1) — no scan, no per-entry work;
+//  * within one epoch, NVBM nodes mutate only through the tree's nv_store
+//    (write-through update here) and are freed only through nv_free /
+//    GC (explicit invalidate / clear here) — so a same-epoch entry is
+//    always byte-identical to the device's working image.
+//
+// Eviction is clock (second chance): one ref bit per slot, a hand that
+// sweeps until it finds an unreferenced slot. Deterministic — cache state
+// is a pure function of the per-tree access sequence, which the exec
+// determinism contract already fixes across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pmoctree/node.hpp"
+
+namespace pmo::pmoctree {
+
+class NodeCache {
+ public:
+  /// Lifetime event counts (also mirrored into pmoctree.cache.* telemetry
+  /// by the owning tree).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  explicit NodeCache(std::size_t budget_bytes) {
+    const std::size_t n = budget_bytes / sizeof(Entry);
+    slots_.resize(n);
+    index_.reserve(n);
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return index_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Returns the cached node for `offset` when present AND stamped with
+  /// the current `epoch`; nullptr otherwise. A stale-stamp entry counts
+  /// as a miss (it is dead weight awaiting overwrite, not an eviction).
+  const PNode* lookup(std::uint64_t offset, std::uint32_t epoch) {
+    const auto it = index_.find(offset);
+    if (it == index_.end() || slots_[it->second].stamp != epoch) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    Entry& e = slots_[it->second];
+    e.referenced = true;
+    ++stats_.hits;
+    return &e.node;
+  }
+
+  /// Installs (or refreshes) the node for `offset`, stamped with `epoch`.
+  /// Returns true when a live entry was evicted to make room.
+  bool insert(std::uint64_t offset, const PNode& node, std::uint32_t epoch) {
+    if (slots_.empty()) return false;
+    if (const auto it = index_.find(offset); it != index_.end()) {
+      Entry& e = slots_[it->second];
+      e.node = node;
+      e.stamp = epoch;
+      e.referenced = true;
+      return false;
+    }
+    const std::size_t slot = claim_slot();
+    Entry& e = slots_[slot];
+    bool evicted = false;
+    if (e.live) {
+      index_.erase(e.offset);
+      ++stats_.evictions;
+      evicted = true;
+    }
+    e.offset = offset;
+    e.node = node;
+    e.stamp = epoch;
+    e.referenced = true;
+    e.live = true;
+    index_[offset] = slot;
+    return evicted;
+  }
+
+  /// Write-through: refreshes the entry if (and only if) present. Writes
+  /// do not admit nodes — the cache stays a read-path structure.
+  void update(std::uint64_t offset, const PNode& node, std::uint32_t epoch) {
+    const auto it = index_.find(offset);
+    if (it == index_.end()) return;
+    Entry& e = slots_[it->second];
+    e.node = node;
+    e.stamp = epoch;
+  }
+
+  /// Drops the entry for `offset` (the node was freed: its storage may be
+  /// reallocated within the same epoch, so the stamp cannot protect it).
+  /// Returns true when an entry was actually dropped.
+  bool invalidate(std::uint64_t offset) {
+    const auto it = index_.find(offset);
+    if (it == index_.end()) return false;
+    slots_[it->second].live = false;
+    slots_[it->second].referenced = false;
+    index_.erase(it);
+    ++stats_.invalidations;
+    return true;
+  }
+
+  /// Drops everything (GC sweep / pm_delete: many offsets freed at once).
+  /// Returns the number of entries dropped.
+  std::size_t clear() {
+    const std::size_t dropped = index_.size();
+    stats_.invalidations += dropped;
+    index_.clear();
+    for (Entry& e : slots_) {
+      e.live = false;
+      e.referenced = false;
+    }
+    hand_ = 0;
+    return dropped;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;
+    PNode node{};
+    std::uint32_t stamp = 0;
+    bool referenced = false;
+    bool live = false;
+  };
+
+  std::size_t claim_slot() {
+    // Clock sweep: clear ref bits until an unreferenced slot comes up.
+    // Terminates within two laps (first lap clears every ref bit).
+    for (;;) {
+      Entry& e = slots_[hand_];
+      const std::size_t slot = hand_;
+      hand_ = (hand_ + 1) % slots_.size();
+      if (!e.live || !e.referenced) return slot;
+      e.referenced = false;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::size_t hand_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pmo::pmoctree

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/pool.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pmo::pmoctree {
@@ -20,7 +21,10 @@ std::size_t lines_for(std::size_t bytes, std::size_t line) noexcept {
 // ---------------------------------------------------------------------------
 
 PmOctree::PmOctree(nvbm::Heap& heap, PmConfig config)
-    : heap_(heap), config_(config) {
+    : heap_(heap), config_(config), cache_(config.node_cache_bytes) {
+  // PNodes dominate heap traffic; give their size class the O(1)
+  // fast-path free list.
+  heap_.reserve_class(kNodeSize);
   auto& reg = telemetry::Registry::global();
   tm_.cow_copies = &reg.counter("pmoctree.cow_copies");
   tm_.twin_reuse = &reg.counter("pmoctree.merge.twin_reuse");
@@ -35,6 +39,11 @@ PmOctree::PmOctree(nvbm::Heap& heap, PmConfig config)
       &reg.counter("pmoctree.transform.moved_to_dram");
   tm_.transform_evicted_to_nvbm =
       &reg.counter("pmoctree.transform.evicted_to_nvbm");
+  tm_.cache_hits = &reg.counter("pmoctree.cache.hits");
+  tm_.cache_misses = &reg.counter("pmoctree.cache.misses");
+  tm_.cache_evictions = &reg.counter("pmoctree.cache.evictions");
+  tm_.cache_invalidations = &reg.counter("pmoctree.cache.invalidations");
+  tm_.cursor_lca_reuse = &reg.counter("pmoctree.cursor.lca_reuse");
 }
 
 PmOctree PmOctree::create(nvbm::Heap& heap, PmConfig config) {
@@ -121,24 +130,51 @@ PNode PmOctree::read_node(NodeRef ref) {
     touch_heat(node.code, 1.0);
     return node;
   }
-  const PNode node = device().load<PNode>(ref.nvbm_offset());
+  const PNode node = nv_load(ref.nvbm_offset());
   touch_heat(node.code, 1.0);
   return node;
+}
+
+PNode PmOctree::nv_load(std::uint64_t offset) {
+  if (cache_.capacity() == 0) return device().load<PNode>(offset);
+  if (const PNode* hit = cache_.lookup(offset, epoch_)) {
+    tm_.cache_hits->add();
+    device().charge_cached_read(kNodeSize);
+    return *hit;
+  }
+  tm_.cache_misses->add();
+  const PNode node = device().load<PNode>(offset);
+  if (cache_.insert(offset, node, epoch_)) tm_.cache_evictions->add();
+  return node;
+}
+
+void PmOctree::nv_store(std::uint64_t offset, const PNode& node) {
+  ++structure_version_;
+  device().store<PNode>(offset, node);
+  cache_.update(offset, node, epoch_);
+}
+
+void PmOctree::nv_free(std::uint64_t offset) {
+  ++structure_version_;
+  if (cache_.invalidate(offset)) tm_.cache_invalidations->add();
+  heap_.free(offset);
 }
 
 void PmOctree::write_node(NodeRef ref, const PNode& node) {
   PMO_DCHECK(!ref.null());
   touch_heat(node.code, 1.0);
   if (ref.in_dram()) {
+    ++structure_version_;
     charge_dram_write();
     *ref.dram_ptr() = node;
     return;
   }
-  device().store<PNode>(ref.nvbm_offset(), node);
+  nv_store(ref.nvbm_offset(), node);
 }
 
 NodeRef PmOctree::alloc_node(const PNode& proto, bool prefer_dram) {
   note_depth(proto.code.level());
+  ++structure_version_;
   // Hard cap at the overflow ceiling; the placement policies already
   // enforce the tighter budget/designation rules.
   const auto ceiling = static_cast<std::size_t>(
@@ -160,19 +196,20 @@ NodeRef PmOctree::alloc_node(const PNode& proto, bool prefer_dram) {
   }
   const std::uint64_t off = heap_.alloc(kNodeSize);
   const NodeRef ref = NodeRef::nvbm(off);
-  device().store<PNode>(off, proto);
+  nv_store(off, proto);
   return ref;
 }
 
 void PmOctree::free_node(NodeRef ref) {
   PMO_DCHECK(!ref.null());
+  ++structure_version_;
   if (ref.in_dram()) {
     twins_.erase(ref.dram_ptr());
     dram_free_.push_back(ref.dram_ptr());
     --dram_node_count_;
     return;
   }
-  heap_.free(ref.nvbm_offset());
+  nv_free(ref.nvbm_offset());
 }
 
 // ---------------------------------------------------------------------------
@@ -219,17 +256,79 @@ bool PmOctree::place_cow(const LocCode& code) const {
 // structural helpers
 // ---------------------------------------------------------------------------
 
+PmOctree::Cursor* PmOctree::cursor() {
+  if (cache_.capacity() == 0) return nullptr;  // cursor layer rides the knob
+  const auto ctx = static_cast<std::size_t>(exec::context_id());
+  if (ctx >= cursors_.size()) cursors_.resize(ctx + 1);
+  return &cursors_[ctx];
+}
+
 bool PmOctree::descend(const LocCode& code, Path& path) {
   path.clear();
   PMO_CHECK_MSG(!cur_root_.null(), "tree has been destroyed");
-  path.push_back({cur_root_, read_node(cur_root_)});
-  for (int level = 1; level <= code.level(); ++level) {
+
+  Cursor* cur = cursor();
+  std::size_t reused = 0;
+  if (cur != nullptr && cur->stamp == epoch_ &&
+      cur->version == structure_version_ && !cur->path.empty() &&
+      cur->path[0].ref == cur_root_) {
+    // Longest common ancestor of the cursor's code and the probe: the
+    // deepest level at which both codes name the same octant, computed
+    // from the codes alone — no tree reads.
+    const LocCode& prev = cur->path.back().node.code;
+    int lca = std::min(code.level(), prev.level());
+    while (lca > 0 &&
+           !(code.ancestor_at(lca).key() == prev.ancestor_at(lca).key()))
+      --lca;
+    const std::size_t take =
+        std::min(cur->path.size(), static_cast<std::size_t>(lca) + 1);
+    // Reuse the shared prefix. Which ops share a cursor depends on worker
+    // scheduling, so reuse must be modeled-charge TRANSPARENT: each entry
+    // performs exactly the accounting and cache side effects a fresh
+    // read_node would. What it skips is the real work — the device/pool
+    // memcpys and child-link chasing for the prefix.
+    for (std::size_t i = 0; i < take; ++i) {
+      const PathEntry& e = cur->path[i];
+      if (e.ref.in_dram()) {
+        charge_dram_read();
+      } else if (cache_.lookup(e.ref.nvbm_offset(), epoch_) != nullptr) {
+        tm_.cache_hits->add();
+        device().charge_cached_read(kNodeSize);
+      } else {
+        tm_.cache_misses->add();
+        device().touch_read(e.ref.nvbm_offset(), kNodeSize);
+        if (cache_.insert(e.ref.nvbm_offset(), e.node, epoch_))
+          tm_.cache_evictions->add();
+      }
+      touch_heat(e.node.code, 1.0);
+      path.push_back(e);
+    }
+    reused = take;
+  }
+
+  if (path.empty()) path.push_back({cur_root_, read_node(cur_root_)});
+  bool found = true;
+  for (int level = static_cast<int>(path.size()); level <= code.level();
+       ++level) {
     const int idx = code.ancestor_at(level).child_index();
     const NodeRef child = path.back().node.child_ref(idx);
-    if (child.null()) return false;
+    if (child.null()) {
+      found = false;
+      break;
+    }
     path.push_back({child, read_node(child)});
   }
-  return true;
+
+  if (reused > 0) {
+    tm_.cursor_lca_reuse->add(reused);
+    cursor_reuse_ += reused;
+  }
+  if (cur != nullptr) {
+    cur->path = path;
+    cur->stamp = epoch_;
+    cur->version = structure_version_;
+  }
+  return found;
 }
 
 NodeRef PmOctree::make_mutable(Path& path, std::size_t i) {
@@ -489,7 +588,7 @@ void PmOctree::free_subtree(NodeRef ref, bool tombstone_shared) {
     free_node(ref);
     return;
   }
-  PNode node = device().load<PNode>(ref.nvbm_offset());
+  PNode node = nv_load(ref.nvbm_offset());
   if (node.epoch == epoch_) {
     for (int i = 0; i < kChildrenPerNode; ++i)
       free_subtree(node.child_ref(i), tombstone_shared);
@@ -690,7 +789,7 @@ bool PmOctree::is_balanced() {
 NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
   if (ref.null()) return ref;
   if (ref.in_nvbm()) {
-    PNode node = device().load<PNode>(ref.nvbm_offset());
+    PNode node = nv_load(ref.nvbm_offset());
     if (node.epoch != epoch_) return ref;  // shared subtree: all NVBM already
     bool changed = false;
     for (int i = 0; i < kChildrenPerNode; ++i) {
@@ -717,7 +816,7 @@ NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
   if (const auto it = twins_.find(ref.dram_ptr());
       clean && it != twins_.end()) {
     const std::uint64_t twin_off = it->second;
-    const PNode twin = device().load<PNode>(twin_off);
+    const PNode twin = nv_load(twin_off);
     bool match = true;
     for (int i = 0; i < kChildrenPerNode; ++i)
       match &= twin.child[i] == node.child[i];
@@ -730,15 +829,15 @@ NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
   }
   const std::uint64_t off = heap_.alloc(kNodeSize);
   const NodeRef nref = NodeRef::nvbm(off);
-  device().store<PNode>(off, node);
+  nv_store(off, node);
   // Fix advisory parent pointers of private (current-epoch) children.
   for (int i = 0; i < kChildrenPerNode; ++i) {
     const NodeRef c = node.child_ref(i);
     if (c.null()) continue;
-    PNode child = device().load<PNode>(c.nvbm_offset());
+    PNode child = nv_load(c.nvbm_offset());
     if (child.epoch == epoch_) {
       child.set_parent(nref);
-      device().store<PNode>(c.nvbm_offset(), child);
+      nv_store(c.nvbm_offset(), child);
     }
   }
   free_node(ref);
@@ -769,7 +868,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
   if (ref.null()) return {ref, ref, false};
   ++stats.nodes_total;
   if (ref.in_nvbm()) {
-    PNode node = device().load<PNode>(ref.nvbm_offset());
+    PNode node = nv_load(ref.nvbm_offset());
     if (census != nullptr)
       census_add(*census, node.code, node.data, false);
     if (node.epoch != epoch_) {
@@ -811,7 +910,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
     }
     twin.set_parent(NodeRef{});
     const std::uint64_t twin_off = heap_.alloc(sizeof(PNode));
-    device().store<PNode>(twin_off, twin);
+    nv_store(twin_off, twin);
     PNode* slot = nullptr;
     if (!dram_free_.empty()) {
       slot = dram_free_.back();
@@ -824,7 +923,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
     ++dram_node_count_;
     charge_dram_write();
     twins_[slot] = twin_off;
-    heap_.free(ref.nvbm_offset());
+    nv_free(ref.nvbm_offset());
     ++stats.merged_from_dram;
     return {NodeRef::dram(slot), NodeRef::nvbm(twin_off), true};
   }
@@ -859,7 +958,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
   twin_content.epoch = epoch_;
   twin_content.set_parent(NodeRef{});  // advisory; fixed by the parent
   const std::uint64_t off = heap_.alloc(sizeof(PNode));
-  device().store<PNode>(off, twin_content);
+  nv_store(off, twin_content);
   twins_[ptr] = off;
   ++stats.merged_from_dram;
   ++(*changed);
@@ -922,10 +1021,10 @@ PersistStats PmOctree::persist() {
       const NodeRef ref = stack.back();
       stack.pop_back();
       if (in_new.count(ref.nvbm_offset()) != 0) continue;
-      PNode node = device().load<PNode>(ref.nvbm_offset());
+      PNode node = nv_load(ref.nvbm_offset());
       if (!node.deleted()) {
         node.flags |= kNodeDeleted;
-        device().store<PNode>(ref.nvbm_offset(), node);
+        nv_store(ref.nvbm_offset(), node);
         ++stats.tombstoned;
       }
       for (int i = 0; i < kChildrenPerNode; ++i) {
@@ -956,7 +1055,10 @@ PersistStats PmOctree::persist() {
   // 6. Automated C0 sizing (the paper's §6 future work): adapt the DRAM
   //    budget to keep the NVBM tier's share of memory accesses in band.
   if (config_.auto_budget) {
-    const std::uint64_t dram_now = dram_.reads + dram_.writes;
+    // Node-cache hits are DRAM accesses: count them on the DRAM side so
+    // the cache does not read as phantom NVBM pressure.
+    const std::uint64_t dram_now =
+        dram_.reads + dram_.writes + device().counters().cached_reads;
     const std::uint64_t nvbm_now = device().counters().total_accesses();
     const double d = static_cast<double>(dram_now - auto_last_dram_);
     const double n = static_cast<double>(nvbm_now - auto_last_nvbm_);
@@ -979,6 +1081,13 @@ PersistStats PmOctree::persist() {
   tm_.persists->add();
   tm_.merged_from_dram->add(stats.merged_from_dram);
   tm_.tombstoned->add(stats.tombstoned);
+  telemetry::trace::instant(
+      "pmoctree.cache", "pmoctree",
+      {{"hits", static_cast<double>(cache_.stats().hits)},
+       {"misses", static_cast<double>(cache_.stats().misses)},
+       {"evictions", static_cast<double>(cache_.stats().evictions)},
+       {"invalidations", static_cast<double>(cache_.stats().invalidations)},
+       {"cursor_reuse", static_cast<double>(cursor_reuse_)}});
   return stats;
 }
 
@@ -994,7 +1103,7 @@ void PmOctree::collect_reachable_nvbm(
     }
     const PNode node = ref.in_dram()
                            ? *ref.dram_ptr()
-                           : device().load<PNode>(ref.nvbm_offset());
+                           : nv_load(ref.nvbm_offset());
     for (int i = 0; i < kChildrenPerNode; ++i) {
       const NodeRef c = node.child_ref(i);
       if (!c.null()) stack.push_back(c);
@@ -1008,6 +1117,12 @@ std::size_t PmOctree::gc() {
   collect_reachable_nvbm(cur_root_, live);
   const std::size_t freed = heap_.sweep(
       [&](std::uint64_t off) { return live.count(off) != 0; });
+  // The sweep frees offsets behind the node accessor's back and the heap
+  // may hand them out again within this epoch — the stamp cannot protect
+  // cached copies, so drop everything (they would go stale at the next
+  // epoch bump anyway).
+  tm_.cache_invalidations->add(cache_.clear());
+  ++structure_version_;
   tm_.gc_sweeps->add();
   tm_.gc_freed->add(freed);
   telemetry::trace::instant("pmoctree.gc", "pmoctree",
@@ -1016,6 +1131,9 @@ std::size_t PmOctree::gc() {
 }
 
 void PmOctree::destroy() {
+  tm_.cache_invalidations->add(cache_.clear());
+  cursors_.clear();
+  ++structure_version_;
   dram_pool_.clear();
   dram_free_.clear();
   twins_.clear();
@@ -1052,7 +1170,7 @@ NodeRef PmOctree::dramify(NodeRef ref, std::size_t* moved,
     if (changed) write_node(ref, node);
     return ref;
   }
-  PNode node = device().load<PNode>(ref.nvbm_offset());
+  PNode node = nv_load(ref.nvbm_offset());
   const bool shared = node.epoch != epoch_;
   PNode copy = node;
   for (int i = 0; i < kChildrenPerNode; ++i)
@@ -1075,7 +1193,7 @@ NodeRef PmOctree::dramify(NodeRef ref, std::size_t* moved,
   } else {
     // Private original: the DRAM copy simply replaces it.
     copy.epoch = epoch_;
-    heap_.free(ref.nvbm_offset());
+    nv_free(ref.nvbm_offset());
   }
   *slot = copy;
   ++dram_node_count_;
@@ -1226,7 +1344,7 @@ void PmOctree::enforce_dram_budget() {
     stack.pop_back();
     const PNode node =
         ref.in_dram() ? *ref.dram_ptr()
-                      : device().load<PNode>(ref.nvbm_offset());
+                      : nv_load(ref.nvbm_offset());
     if (ref.in_dram() && node.code.level() >= lsub)
       ++counts[node.code.ancestor_at(lsub)];
     for (int i = 0; i < kChildrenPerNode; ++i) {
@@ -1278,7 +1396,7 @@ PmStats PmOctree::stats() {
     stack.pop_back();
     const PNode node =
         ref.in_dram() ? *ref.dram_ptr()
-                      : device().load<PNode>(ref.nvbm_offset());
+                      : nv_load(ref.nvbm_offset());
     ++s.nodes;
     if (node.is_leaf()) ++s.leaves;
     if (ref.in_dram()) {

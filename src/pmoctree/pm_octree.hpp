@@ -31,6 +31,7 @@
 #include "octree/octree.hpp"
 #include "pmoctree/config.hpp"
 #include "pmoctree/node.hpp"
+#include "pmoctree/node_cache.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pmo::pmoctree {
@@ -221,6 +222,16 @@ class PmOctree {
   /// Number of C0->C1 subtree merges forced by DRAM pressure (the merge
   /// count the paper reports in the Fig. 10 DRAM-size study).
   std::size_t eviction_merges() const noexcept { return eviction_merges_; }
+  /// Lifetime hit/miss/eviction/invalidation counts of the hot-node cache
+  /// (all zero when config().node_cache_bytes == 0).
+  const NodeCache::Stats& node_cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  /// Total path entries served from traversal cursors instead of fresh
+  /// descends. Execution-layer telemetry: cursor reuse is modeled-charge
+  /// transparent, so this moves with worker scheduling, never with the
+  /// modeled counters.
+  std::uint64_t cursor_reuse() const noexcept { return cursor_reuse_; }
   void reset_counters();
 
   // Durable root-table slots (public for tests & crash tooling).
@@ -238,6 +249,17 @@ class PmOctree {
   void charge_dram_read();
   void charge_dram_write();
   void touch_heat(const LocCode& code, double amount);
+  /// Cache-aware NVBM node read: serves hits from the hot-node cache at
+  /// DRAM latency, admits misses. The descent path's only NVBM read.
+  PNode nv_load(std::uint64_t offset);
+  /// NVBM node store with cache write-through. Every PNode store to the
+  /// device MUST go through here (or write_node) to keep the cache
+  /// coherent within an epoch.
+  void nv_store(std::uint64_t offset, const PNode& node);
+  /// NVBM node free with cache invalidation: the offset may be handed out
+  /// again by the heap within the same epoch, so the epoch stamp alone
+  /// cannot protect a cached copy.
+  void nv_free(std::uint64_t offset);
 
   // placement --------------------------------------------------------------
   LocCode subtree_id(const LocCode& code) const;
@@ -261,9 +283,29 @@ class PmOctree {
     PNode node;
   };
   using Path = std::vector<PathEntry>;
+  /// Traversal cursor: a copy of the last descend's root-to-node path,
+  /// one per exec context (worker). A cursor is valid only while the tree
+  /// is untouched (same epoch, same structure version, same root); a
+  /// valid cursor lets the next descend reuse the path prefix down to the
+  /// longest common ancestor of the two locational codes — computed from
+  /// the codes alone — and re-read only the divergent suffix. Reuse is
+  /// modeled-charge TRANSPARENT: each reused entry performs exactly the
+  /// accounting (and node-cache side effects) a fresh read would, so the
+  /// modeled counters stay a pure function of the per-tree op sequence no
+  /// matter which worker ran which op (the exec determinism contract).
+  /// What reuse saves is real work: the device/pool memcpys and child
+  /// link chasing for the shared prefix.
+  struct Cursor {
+    Path path;
+    std::uint32_t stamp = 0;     ///< epoch_ at fill time
+    std::uint64_t version = 0;   ///< structure_version_ at fill time
+  };
+  /// This context's cursor; nullptr when the cache/cursor layer is off.
+  Cursor* cursor();
   /// Descends from the V_i root to the deepest existing ancestor of
   /// `code`; fills `path` (path[0] = root). Returns true when the exact
-  /// octant exists (path.back() is it).
+  /// octant exists (path.back() is it). Seeds from this worker's cursor
+  /// when valid.
   bool descend(const LocCode& code, Path& path);
   /// Makes path[i]'s node mutable in place (copy-on-write as needed),
   /// updating the path and parent links. Returns the (possibly new) ref.
@@ -314,6 +356,11 @@ class PmOctree {
     telemetry::Counter* transform_runs;    ///< pmoctree.transform.runs
     telemetry::Counter* transform_moved_to_dram;
     telemetry::Counter* transform_evicted_to_nvbm;
+    telemetry::Counter* cache_hits;          ///< pmoctree.cache.hits
+    telemetry::Counter* cache_misses;        ///< pmoctree.cache.misses
+    telemetry::Counter* cache_evictions;     ///< pmoctree.cache.evictions
+    telemetry::Counter* cache_invalidations; ///< pmoctree.cache.invalidations
+    telemetry::Counter* cursor_lca_reuse;    ///< pmoctree.cursor.lca_reuse
   };
 
   // state --------------------------------------------------------------------
@@ -340,6 +387,20 @@ class PmOctree {
   std::unordered_map<LocCode, double, LocCodeHash> heat_;
   /// Subtree ids currently designated DRAM-resident (the C0 set).
   std::unordered_set<LocCode, LocCodeHash> c0_set_;
+
+  /// Hot-node cache over NVBM-resident octants (empty when
+  /// node_cache_bytes == 0); see node_cache.hpp for the coherence rules.
+  NodeCache cache_;
+  /// Per-exec-context traversal cursors, grown on demand. Safe without
+  /// locks: a PmOctree is confined to one logical owner at a time (see
+  /// the Device thread-compatibility note), so cursor slots are never
+  /// touched concurrently.
+  std::vector<Cursor> cursors_;
+  /// Bumped by every mutation of tree storage (node writes, allocations,
+  /// frees, merges, transforms); cursors snapshot it and self-invalidate
+  /// when it moves.
+  std::uint64_t structure_version_ = 0;
+  std::uint64_t cursor_reuse_ = 0;
 
   DramCounters dram_;
   std::size_t eviction_merges_ = 0;

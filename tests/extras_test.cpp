@@ -78,6 +78,8 @@ TEST(PrunedSweep, VisitsOnlyMatchingSubtrees) {
 TEST(PrunedSweep, PruningSkipsNvbmReads) {
   pmoctree::PmConfig pm;
   pm.dram_budget_bytes = 0;  // everything NVBM: reads are countable
+  pm.node_cache_bytes = 0;   // cache off: device reads must reflect the
+                             // traversal, not the hit rate
   nvbm::Device dev(128 << 20, dev_cfg());
   amr::PmOctreeBackend mesh(dev, pm);
   for (int l = 0; l < 3; ++l) {

@@ -1,0 +1,86 @@
+// perf_smoke gate (ctest label `perf_smoke`): deterministic, counter-based
+// performance regressions — no wall-clock measurement, so the gate is
+// stable on loaded CI machines. The tentpole check: the traversal-cursor +
+// hot-node-cache read path must cut NVBM line reads on a small-scale
+// droplet workload to at most 60% of the cache-off baseline (the
+// acceptance bar is a 40% drop at full bench scale; this 5%-scale replica
+// runs in seconds). The cache is read-path only, so everything modeled
+// except read traffic must stay bit-identical — that is asserted too, so a
+// "speedup" obtained by changing semantics fails the gate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "amr/droplet.hpp"
+#include "amr/pm_backend.hpp"
+
+namespace pmo {
+namespace {
+
+struct Outcome {
+  std::map<std::uint64_t, double> leaves;
+  std::uint64_t lines_read = 0;      ///< real NVBM medium traffic
+  std::uint64_t lines_written = 0;
+  std::uint64_t nvbm_writes = 0;
+  std::uint64_t cached_reads = 0;    ///< DRAM-latency hits (cache channel)
+};
+
+Outcome run_droplet(std::size_t node_cache_bytes) {
+  nvbm::Device dev(std::size_t{128} << 20, {});
+  pmoctree::PmConfig pm;
+  // Small C0 budget so most octants live on NVBM — the regime the cache
+  // targets (fig07/fig10 run the same shape at ~20x the leaf count).
+  pm.dram_budget_bytes = 96 * sizeof(pmoctree::PNode);
+  pm.node_cache_bytes = node_cache_bytes;
+  amr::PmOctreeBackend mesh(dev, pm);
+
+  amr::DropletParams params;
+  params.min_level = 2;
+  params.max_level = 4;
+  params.dt = 0.05;
+  amr::DropletWorkload wl(params);
+  mesh.register_feature([&wl](const LocCode& c, const CellData& d) {
+    return wl.hot_feature(c, d);
+  });
+
+  wl.initialize(mesh);
+  for (int s = 0; s < 4; ++s) wl.step(mesh, s);
+
+  Outcome out;
+  mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+    out.leaves[c.key() | (static_cast<std::uint64_t>(c.level()) << 60)] =
+        d.vof;
+  });
+  const auto& ctr = dev.counters();
+  out.lines_read = ctr.lines_read;
+  out.lines_written = ctr.lines_written;
+  out.nvbm_writes = ctr.writes;
+  out.cached_reads = ctr.cached_reads;
+  return out;
+}
+
+TEST(PerfSmoke, NodeCacheCutsNvbmLineReadsByAtLeast40Percent) {
+  const Outcome cached = run_droplet(std::size_t{4} << 20);
+  const Outcome uncached = run_droplet(0);
+
+  // The gate: cached medium traffic <= 60% of the baseline.
+  ASSERT_GT(uncached.lines_read, 0u);
+  EXPECT_LE(cached.lines_read * 100, uncached.lines_read * 60)
+      << "cached lines_read " << cached.lines_read << " vs uncached "
+      << uncached.lines_read << " (ratio "
+      << (100.0 * static_cast<double>(cached.lines_read) /
+          static_cast<double>(uncached.lines_read))
+      << "%)";
+  // The hits really went through the DRAM-latency channel.
+  EXPECT_GT(cached.cached_reads, 0u);
+  EXPECT_EQ(uncached.cached_reads, 0u);
+
+  // Read-path only: identical mesh, identical writes.
+  EXPECT_EQ(cached.leaves, uncached.leaves);
+  EXPECT_EQ(cached.lines_written, uncached.lines_written);
+  EXPECT_EQ(cached.nvbm_writes, uncached.nvbm_writes);
+}
+
+}  // namespace
+}  // namespace pmo

@@ -157,6 +157,42 @@ TEST_P(CrashInjection, RecoveryGcReclaimsOrphans) {
   EXPECT_EQ(back.node_count(), reachable);
 }
 
+TEST_P(CrashInjection, HotNodeCacheNeverChangesWhatACrashLoses) {
+  // The hot-node cache is read-path only: the device's dirty-line set —
+  // and therefore exactly which data a crash can lose — must be identical
+  // with the cache on and off. Run the same RNG-driven history twice and
+  // compare both the persisted state and the restored state.
+  const int seed = GetParam();
+  auto run = [&](std::size_t cache_bytes) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 24593 + 17);
+    nvbm::Device dev(64 << 20, crash_cfg());
+    nvbm::Heap heap(dev);
+    PmConfig pm;
+    pm.dram_budget_bytes = 16 * sizeof(PNode);
+    pm.node_cache_bytes = cache_bytes;
+    LeafMap persisted;
+    {
+      auto tree = PmOctree::create(heap, pm);
+      tree.refine(LocCode::root());
+      mutate_randomly(tree, rng, 18);
+      tree.persist();
+      persisted = leaves_of(tree);
+      mutate_randomly(tree, rng, 12);
+    }
+    // Same seed -> same writes -> same dirty lines -> the crash consumes
+    // the RNG stream identically in both runs.
+    dev.simulate_crash(rng, 0.4);
+    nvbm::Heap heap2(dev);
+    auto back = PmOctree::restore(heap2, pm);
+    return std::make_pair(persisted, leaves_of(back));
+  };
+  const auto on = run(std::size_t{4} << 20);
+  const auto off = run(0);
+  EXPECT_EQ(on.first, off.first) << "seed " << seed;
+  EXPECT_EQ(on.second, off.second) << "seed " << seed;
+  EXPECT_EQ(on.second, on.first) << "seed " << seed;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashInjection, ::testing::Range(0, 12));
 
 TEST(CrashInjection, MultiStepCrashRecoverCrashAgain) {
