@@ -82,6 +82,30 @@ inline std::size_t bench_node_cache() {
                 : pmoctree::PmConfig{}.node_cache_bytes;
 }
 
+/// Persist-path pruning knob the PM bundles run with:
+/// PMOCTREE_BENCH_PERSIST_PRUNING=off|0 disables dirty-subtree pruning
+/// for A/B runs. The persisted image is bit-identical either way (the
+/// determinism contract); only the persist.visits counters move.
+/// Recorded in the JSON config block.
+inline bool bench_persist_pruning() {
+  if (const char* env = std::getenv("PMOCTREE_BENCH_PERSIST_PRUNING")) {
+    const std::string s(env);
+    return s != "off" && s != "0";
+  }
+  return pmoctree::PmConfig{}.persist_pruning;
+}
+
+/// Persist-time merge concurrency cap the PM bundles run with
+/// (PmConfig::persist_threads; 0 = the attached pool's full size).
+/// Wall-clock-only — modeled results are thread-count independent.
+/// Recorded in the JSON config block.
+inline int bench_persist_threads() {
+  if (const char* env = std::getenv("PMOCTREE_BENCH_PERSIST_THREADS")) {
+    return std::atoi(env);
+  }
+  return pmoctree::PmConfig{}.persist_threads;
+}
+
 inline nvbm::Config device_config() {
   nvbm::Config c;  // Table 2 defaults, modeled latency
   c.latency_mode = nvbm::LatencyMode::kModeled;
@@ -149,6 +173,8 @@ inline Bundle make_bundle(Backend kind, std::size_t capacity,
       pmoctree::PmConfig pm = opts.pm;
       if (const long long nc = bench_node_cache_env(); nc >= 0)
         pm.node_cache_bytes = static_cast<std::size_t>(nc);
+      pm.persist_pruning = bench_persist_pruning();
+      pm.persist_threads = bench_persist_threads();
       auto mesh = std::make_unique<amr::PmOctreeBackend>(*b.device, pm);
       b.pm = mesh.get();
       b.mesh = std::move(mesh);
@@ -246,6 +272,7 @@ struct PointResult {
   cluster::ClusterResult cluster;
   std::uint64_t nvbm_writes = 0;   ///< real-run NVBM write ops
   std::uint64_t nvbm_lines_read = 0;   ///< real-run NVBM medium line reads
+  std::uint64_t nvbm_lines_written = 0;  ///< real-run NVBM medium line writes
   std::uint64_t nvbm_cached_reads = 0;  ///< node-cache hits (DRAM latency)
   std::size_t eviction_merges = 0;  ///< real-run C0->C1 pressure merges
   std::size_t dram_budget_bytes = 0;
@@ -295,6 +322,7 @@ inline PointResult run_point(Backend kind, int procs, double target_global,
   out.cluster = sim.run(factory, params);
   out.nvbm_writes = bundles.front()->mesh->nvbm_writes();
   out.nvbm_lines_read = bundles.front()->device->counters().lines_read;
+  out.nvbm_lines_written = bundles.front()->device->counters().lines_written;
   out.nvbm_cached_reads = bundles.front()->device->counters().cached_reads;
   if (bundles.front()->pm != nullptr) {
     out.eviction_merges = bundles.front()->pm->tree().eviction_merges();

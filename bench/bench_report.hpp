@@ -124,6 +124,13 @@ class BenchReport {
     // (that is its purpose) — recording it keeps cache-on/off JSON pairs
     // honestly labeled.
     config["node_cache"] = bench_node_cache();
+    // Persist-path knobs: pruning changes visit counters (never the
+    // image); merge threads are wall-clock-only. Both are schema-required
+    // so A/B JSON pairs stay honestly labeled.
+    json::Value persist = json::Value::object();
+    persist["pruning"] = bench_persist_pruning() ? 1 : 0;
+    persist["threads"] = bench_persist_threads();
+    config["persist"] = std::move(persist);
     root["config"] = std::move(config);
     json::Value table = json::Value::object();
     json::Value headers = json::Value::array();

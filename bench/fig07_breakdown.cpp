@@ -65,6 +65,8 @@ int main(int argc, char** argv) {
     // latency — the pair that shows the read-path acceleration in the
     // JSON (compare a default run against `--node-cache off`).
     point["nvbm_lines_read"] = static_cast<double>(res.nvbm_lines_read);
+    point["nvbm_lines_written"] =
+        static_cast<double>(res.nvbm_lines_written);
     point["nvbm_cached_reads"] = static_cast<double>(res.nvbm_cached_reads);
     routine_ns[std::to_string(procs)] = std::move(point);
   }

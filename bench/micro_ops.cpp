@@ -175,6 +175,79 @@ void BM_PmPersist(benchmark::State& state) {
 }
 BENCHMARK(BM_PmPersist)->Iterations(50);
 
+void BM_PersistIncremental(benchmark::State& state) {
+  // The dirty-subtree pruning fast path: after a full persist, touch ONE
+  // leaf and persist again, with pruning toggled by the arg. The merge
+  // visits the dirty root-to-leaf path when pruning is on versus the
+  // whole tree when it is off — the per-iteration time difference is the
+  // tentpole's payoff in its purest form.
+  nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
+  nvbm::Heap heap(dev);
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = 64 << 20;  // whole working tree stays in C0
+  pm.persist_pruning = state.range(0) != 0;
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  for (int l = 0; l < 4; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  tree.persist();
+  CellData d;
+  double v = 0.0;
+  std::uint64_t visits = 0, persists = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    d.vof = (v += 0.001);
+    tree.update(LocCode::from_grid(4, 5, 9, 12), d);
+    state.ResumeTiming();
+    const auto stats = tree.persist();
+    visits += stats.visits;
+    ++persists;
+  }
+  state.counters["visits_per_persist"] = benchmark::Counter(
+      persists == 0 ? 0.0
+                    : static_cast<double>(visits) /
+                          static_cast<double>(persists));
+}
+BENCHMARK(BM_PersistIncremental)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"pruning"})
+    ->Iterations(50);
+
+void BM_DeviceFlushCoalesced(benchmark::State& state) {
+  // Flush-queue coalescing: `stride` controls dirty-line adjacency. With
+  // stride=64 the per-iteration writes form one contiguous extent that
+  // flush_all retires as a single span; stride=4096 leaves 64 scattered
+  // extents. flush_spans telemetry (JSON counters) shows the ratio;
+  // modeled write cost is identical — coalescing is flush-path-only.
+  nvbm::Config cfg = bench::device_config();
+  cfg.crash_sim = true;  // track dirty lines + the span queue
+  nvbm::Device dev(16 << 20, cfg);
+  const std::uint64_t stride = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t v = 42;
+  std::uint64_t spans = 0, flushes = 0;
+  for (auto _ : state) {
+    std::uint64_t off = 0;
+    for (int i = 0; i < 64; ++i) {
+      dev.write(off, &v, sizeof(v));
+      off = (off + stride) & ((16 << 20) - 64);
+    }
+    const auto before = dev.counters().flush_spans;
+    dev.flush_all();
+    spans += dev.counters().flush_spans - before;
+    ++flushes;
+  }
+  state.counters["spans_per_flush"] = benchmark::Counter(
+      flushes == 0 ? 0.0
+                   : static_cast<double>(spans) /
+                         static_cast<double>(flushes));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_DeviceFlushCoalesced)
+    ->Arg(64)
+    ->Arg(4096)
+    ->ArgNames({"stride"});
+
 void BM_PmTraverseLeaves(benchmark::State& state) {
   nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
   nvbm::Heap heap(dev);

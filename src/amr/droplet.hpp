@@ -103,10 +103,12 @@ class DropletWorkload {
   StepStats step(MeshBackend& mesh, int step_index, bool persist = true);
 
   /// Optional execution pool for the solve's chunked stencil gather
-  /// (read-only phase; see MeshBackend::sweep_leaves_chunked). nullptr
-  /// keeps the gather sequential. Results — field values and modeled
-  /// time — are bit-identical either way: the chunk decomposition is
-  /// fixed and each chunk writes only its own per-leaf slots.
+  /// (read-only phase; see MeshBackend::sweep_leaves_chunked) and for the
+  /// backend's internal phases (forwarded via MeshBackend::set_exec — the
+  /// PM-octree parallelizes its persist-time merge). nullptr keeps
+  /// everything sequential. Results — field values, modeled time, and the
+  /// persisted image — are bit-identical either way: the decompositions
+  /// are fixed and all reductions are replayed in deterministic order.
   void set_exec(exec::ThreadPool* pool) noexcept { exec_ = pool; }
 
  private:

@@ -105,6 +105,12 @@ class MeshBackend {
                                     exec::ThreadPool* pool = nullptr,
                                     const LeafPrepareFn& prepare = nullptr);
 
+  /// Attaches (or detaches, with nullptr) an execution pool the backend
+  /// may use to parallelize internal phases — currently the PM-octree's
+  /// persist-time merge. Backends without internal parallelism ignore it.
+  /// Results must not depend on whether a pool is attached.
+  virtual void set_exec(exec::ThreadPool* /*pool*/) noexcept {}
+
   /// Refines every leaf matching `pred` one level; returns # splits.
   virtual std::size_t refine_where(const LeafPred& pred,
                                    const ChildInit& init = nullptr) = 0;

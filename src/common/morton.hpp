@@ -62,6 +62,18 @@ constexpr std::array<std::uint32_t, 3> morton_decode3(
           morton_compact3(code >> 2)};
 }
 
+/// Fast-path 3D Morton encode/decode. On builds targeting BMI2
+/// (x86 `-mbmi2` / `-march=haswell` or newer) these dispatch to single
+/// PDEP/PEXT instructions per axis; elsewhere they fall back to the
+/// portable magic-bits routines above. Bit-identical to
+/// morton_encode3/morton_decode3 by definition — the differential test
+/// in morton_test.cpp holds both paths to that.
+std::uint64_t morton_encode3_fast(std::uint32_t x, std::uint32_t y,
+                                  std::uint32_t z) noexcept;
+std::array<std::uint32_t, 3> morton_decode3_fast(std::uint64_t code) noexcept;
+/// True when the BMI2 path is compiled in (for test/bench reporting).
+bool morton_bmi2_enabled() noexcept;
+
 /// Anchor coordinates of an octant on the level-`kMaxLevel` integer grid.
 struct Anchor {
   std::uint32_t x = 0;
@@ -90,7 +102,7 @@ class LocCode {
     PMO_CHECK_MSG(x < side && y < side && z < side,
                   "grid coordinate out of range at level " << level);
     const int shift = kMaxLevel - level;
-    return LocCode(morton_encode3(x << shift, y << shift, z << shift),
+    return LocCode(morton_encode3_fast(x << shift, y << shift, z << shift),
                    level);
   }
 
@@ -99,7 +111,7 @@ class LocCode {
 
   /// Anchor on the finest (level kMaxLevel) grid.
   Anchor anchor() const noexcept {
-    const auto c = morton_decode3(key_);
+    const auto c = morton_decode3_fast(key_);
     return {c[0], c[1], c[2]};
   }
 

@@ -27,6 +27,8 @@ int hardware_threads() noexcept {
 
 int context_id() noexcept { return t_context_id; }
 
+bool in_parallel_task() noexcept { return t_in_parallel_for; }
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = hardware_threads();
   workers_.reserve(static_cast<std::size_t>(threads > 0 ? threads - 1 : 0));

@@ -65,6 +65,18 @@ void Device::mark_dirty(std::uint64_t offset, std::size_t len) {
   if (len == 0) return;
   const std::uint64_t first = offset / config_.cache_line;
   const std::uint64_t last = (offset + len - 1) / config_.cache_line;
+  // Range-merging flush queue: a store contiguous with (or overlapping)
+  // the previous one extends the tail entry instead of appending. The
+  // allocator/CoW layer writes in rising-offset bursts, so most stores
+  // collapse into the tail entry here and flush_all()'s sort/merge pass
+  // sees a short queue.
+  if (!span_queue_.empty() && first <= span_queue_.back().second + 1 &&
+      last + 1 >= span_queue_.back().first) {
+    span_queue_.back().first = std::min(span_queue_.back().first, first);
+    span_queue_.back().second = std::max(span_queue_.back().second, last);
+  } else {
+    span_queue_.emplace_back(first, last);
+  }
   for (std::uint64_t line = first; line <= last; ++line) {
     const std::size_t b = std::min<std::size_t>(
         static_cast<std::size_t>(line * config_.cache_line * kWearBuckets /
@@ -126,6 +138,24 @@ void Device::touch_write(std::uint64_t offset, std::size_t len) {
   mark_dirty(offset, len);
 }
 
+void Device::account_reads(std::uint64_t ops, std::uint64_t bytes,
+                           std::uint64_t lines) {
+  counters_.reads += ops;
+  counters_.bytes_read += bytes;
+  charge_read(static_cast<std::size_t>(lines));
+}
+
+void Device::account_writes(std::uint64_t ops, std::uint64_t bytes,
+                            std::uint64_t lines) {
+  counters_.writes += ops;
+  counters_.bytes_written += bytes;
+  charge_write(static_cast<std::size_t>(lines));
+}
+
+void Device::mark_written(std::uint64_t offset, std::size_t len) {
+  mark_dirty(offset, len);
+}
+
 void Device::charge_cached_read(std::size_t len) {
   ++counters_.cached_reads;
   const std::size_t lines =
@@ -170,8 +200,30 @@ void Device::flush(std::uint64_t offset, std::size_t len) {
 
 void Device::persist_barrier() { ++counters_.barriers; }
 
+std::size_t Device::drain_spans() {
+  if (span_queue_.empty()) return 0;
+  std::sort(span_queue_.begin(), span_queue_.end());
+  std::size_t spans = 0;
+  std::uint64_t cur_first = span_queue_.front().first;
+  std::uint64_t cur_last = span_queue_.front().second;
+  for (std::size_t i = 1; i < span_queue_.size(); ++i) {
+    const auto [first, last] = span_queue_[i];
+    if (first <= cur_last + 1) {
+      cur_last = std::max(cur_last, last);
+    } else {
+      ++spans;
+      cur_first = first;
+      cur_last = last;
+    }
+  }
+  ++spans;
+  span_queue_.clear();
+  return spans;
+}
+
 void Device::flush_all() {
   ++counters_.flushes;
+  counters_.flush_spans += drain_spans();
   if (!config_.crash_sim) return;
   drain_dirty([this](std::uint64_t line) { evict_line(line); });
 }
@@ -190,7 +242,9 @@ std::size_t Device::simulate_crash(Rng& rng, double survive_p) {
       ++lost;
     }
   });
-  // Reboot: the CPU-visible image is whatever the medium holds.
+  // Reboot: the CPU-visible image is whatever the medium holds, and any
+  // queued (never-issued) flush extents died with the cache.
+  span_queue_.clear();
   std::memcpy(working_.data(), durable_.data(), capacity_);
   telemetry::trace::audit(
       "nvbm.crash", {{"dirty_lines", static_cast<double>(dirty_at_crash)},
@@ -211,6 +265,7 @@ void Device::publish(telemetry::Registry& reg,
   gauge("lines_written", static_cast<double>(counters_.lines_written));
   gauge("flushes", static_cast<double>(counters_.flushes));
   gauge("barriers", static_cast<double>(counters_.barriers));
+  gauge("flush_spans", static_cast<double>(counters_.flush_spans));
   gauge("modeled_read_ns",
         static_cast<double>(counters_.modeled_read_ns));
   gauge("modeled_write_ns",

@@ -63,6 +63,11 @@ struct Counters {
   std::uint64_t lines_written = 0;
   std::uint64_t flushes = 0;        ///< explicit persist (clflush) calls
   std::uint64_t barriers = 0;       ///< persist_barrier (sfence) calls
+  /// Coalesced write-back extents issued by flush_all(): one per maximal
+  /// run of contiguous dirty lines (the range-merging flush queue). The
+  /// per-line modeled cost is unchanged — this counts how many flush
+  /// *instructions* a range-flushing persist path would issue.
+  std::uint64_t flush_spans = 0;
   std::uint64_t modeled_read_ns = 0;
   std::uint64_t modeled_write_ns = 0;
   /// Reads of NVBM-resident data absorbed by a DRAM-side cache above the
@@ -149,6 +154,24 @@ class Device {
   void touch_read(std::uint64_t offset, std::size_t len);
   void touch_write(std::uint64_t offset, std::size_t len);
 
+  /// Deferred-accounting replay, used by the PM-octree's parallel merge:
+  /// workers touch the working image through raw() only (no counter or
+  /// wear state is shared across threads) and log their traffic; the
+  /// coordinating thread replays the totals here in deterministic task
+  /// order. account_* charge the same modeled latency per line that
+  /// touch_read / touch_write would have; mark_written replays the
+  /// per-extent dirty/wear bookkeeping of one logged store.
+  void account_reads(std::uint64_t ops, std::uint64_t bytes,
+                     std::uint64_t lines);
+  void account_writes(std::uint64_t ops, std::uint64_t bytes,
+                      std::uint64_t lines);
+  void mark_written(std::uint64_t offset, std::size_t len);
+
+  /// Line span of [offset, offset+len) — the latency unit of one access.
+  std::size_t lines_of(std::uint64_t offset, std::size_t len) const noexcept {
+    return line_span(offset, len);
+  }
+
   /// Accounting for a read of NVBM-resident data served by a DRAM-side
   /// cache layered above the device: charged at DRAM read latency into
   /// the cached_* counters so the modeled time reflects the hit without
@@ -166,6 +189,11 @@ class Device {
   void flush_all();
   /// Number of dirty (written, unflushed) cache lines.
   std::size_t dirty_lines() const noexcept { return dirty_count_; }
+  /// Entries currently in the range-merging flush queue (pre-coalesce;
+  /// adjacent stores already merge on append). Test/diagnostic hook.
+  std::size_t pending_flush_spans() const noexcept {
+    return span_queue_.size();
+  }
 
   /// Simulated power failure + reboot: every dirty line independently
   /// either reached the medium or is lost (probability `survive_p` each);
@@ -201,6 +229,9 @@ class Device {
   void charge_write(std::size_t lines);
   std::size_t line_span(std::uint64_t offset, std::size_t len) const noexcept;
   void mark_dirty(std::uint64_t offset, std::size_t len);
+  /// Coalesces the queued write extents into maximal contiguous line
+  /// runs, clears the queue, and returns the run count.
+  std::size_t drain_spans();
   /// Copies line `line` of the working image to the durable image.
   void evict_line(std::uint64_t line);
   /// Invokes fn(line) for every dirty line in ascending order, then
@@ -230,6 +261,10 @@ class Device {
   std::size_t dirty_count_ = 0;
   std::vector<std::uint32_t> wear_;          ///< only when track_wear
   std::array<std::uint64_t, kWearBuckets> wear_buckets_{};
+  /// Range-merging flush queue: [first_line, last_line] extents appended
+  /// by mark_dirty (a store contiguous with the previous one extends the
+  /// tail entry in place). flush_all() coalesces and drains it.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> span_queue_;
   Counters counters_;
 };
 

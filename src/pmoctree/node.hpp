@@ -78,6 +78,13 @@ struct NodeRefHash {
 /// Node flags.
 enum NodeFlags : std::uint32_t {
   kNodeDeleted = 1u << 0,  ///< tombstoned; reclaimed by the next GC sweep
+  /// Dirty-subtree summary bit (DRAM-resident nodes only): some octant in
+  /// this node's subtree mutated since the last persist, so the merge
+  /// must recurse here. A clean DRAM node (bit unset, epoch < current,
+  /// durable twin recorded) is skipped in O(1). The bit never reaches
+  /// NVBM bytes — every node store to the device strips it, keeping the
+  /// persisted image independent of mutation history.
+  kNodeSubtreeDirty = 1u << 1,
 };
 
 /// The octant record, identical layout in DRAM and NVBM so merging is a

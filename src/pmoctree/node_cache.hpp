@@ -116,6 +116,24 @@ class NodeCache {
     return true;
   }
 
+  /// Carries live entries across a persist's epoch bump: every entry
+  /// stamped `from` is re-stamped `to`. Sound because persist explicitly
+  /// updates (write-through) or invalidates (free) each offset it touches
+  /// before the bump — whatever still carries the old stamp is an offset
+  /// whose contents survived the persist unchanged (e.g. an entirely
+  /// pruned subtree), so dropping it would only manufacture cold misses.
+  /// Returns the number of entries carried over.
+  std::size_t restamp(std::uint32_t from, std::uint32_t to) {
+    std::size_t carried = 0;
+    for (Entry& e : slots_) {
+      if (e.live && e.stamp == from) {
+        e.stamp = to;
+        ++carried;
+      }
+    }
+    return carried;
+  }
+
   /// Drops everything (GC sweep / pm_delete: many offsets freed at once).
   /// Returns the number of entries dropped.
   std::size_t clear() {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <functional>
 
 #include "exec/pool.hpp"
 #include "telemetry/trace.hpp"
@@ -44,6 +47,8 @@ PmOctree::PmOctree(nvbm::Heap& heap, PmConfig config)
   tm_.cache_evictions = &reg.counter("pmoctree.cache.evictions");
   tm_.cache_invalidations = &reg.counter("pmoctree.cache.invalidations");
   tm_.cursor_lca_reuse = &reg.counter("pmoctree.cursor.lca_reuse");
+  tm_.persist_visits = &reg.counter("pmoctree.persist.visits");
+  tm_.persist_pruned = &reg.counter("pmoctree.persist.pruned_subtrees");
 }
 
 PmOctree PmOctree::create(nvbm::Heap& heap, PmConfig config) {
@@ -51,11 +56,13 @@ PmOctree PmOctree::create(nvbm::Heap& heap, PmConfig config) {
   // Clean slate: drop any roots and reclaim every object on the heap.
   heap.set_root(kPrevRootSlot, 0);
   heap.set_root(kEpochSlot, 0);
+  heap.set_root(kNodeCountSlot, 0);
   heap.sweep([](std::uint64_t) { return false; });
   PNode root{};
   root.code = LocCode::root();
   root.epoch = tree.epoch_;
   tree.cur_root_ = tree.alloc_node(root, true);
+  tree.logical_nodes_ = 1;
   return tree;
 }
 
@@ -95,6 +102,10 @@ PmOctree PmOctree::restore(nvbm::Heap& heap, PmConfig config) {
   tree.cur_root_ = tree.prev_root_;
   tree.epoch_ =
       static_cast<std::uint32_t>(heap.root(kEpochSlot)) + 1;
+  // The persisted version's logical octant count, written just before the
+  // root swap — keeps nodes_total available without a traversal.
+  tree.logical_nodes_ =
+      static_cast<std::size_t>(heap.root(kNodeCountSlot));
   // Depth is re-learned lazily; seed it from the persisted root's subtree
   // on first stats() call. Keep 0 here to stay O(1).
   return tree;
@@ -150,8 +161,23 @@ PNode PmOctree::nv_load(std::uint64_t offset) {
 
 void PmOctree::nv_store(std::uint64_t offset, const PNode& node) {
   ++structure_version_;
-  device().store<PNode>(offset, node);
-  cache_.update(offset, node, epoch_);
+  // The dirty-subtree summary bit is DRAM-only bookkeeping: strip it from
+  // every byte that reaches the device so the persisted image is a pure
+  // function of tree content, independent of mutation history.
+  PNode clean = node;
+  clean.flags &= ~kNodeSubtreeDirty;
+  device().store<PNode>(offset, clean);
+  cache_.update(offset, clean, epoch_);
+}
+
+void PmOctree::nv_store_partial(std::uint64_t offset, std::size_t field_off,
+                                std::size_t len, const PNode& full) {
+  ++structure_version_;
+  PNode clean = full;
+  clean.flags &= ~kNodeSubtreeDirty;
+  device().write(offset + field_off,
+                 reinterpret_cast<const std::byte*>(&clean) + field_off, len);
+  cache_.update(offset, clean, epoch_);
 }
 
 void PmOctree::nv_free(std::uint64_t offset) {
@@ -170,6 +196,46 @@ void PmOctree::write_node(NodeRef ref, const PNode& node) {
     return;
   }
   nv_store(ref.nvbm_offset(), node);
+}
+
+void PmOctree::write_back_data(PathEntry& e) {
+  touch_heat(e.node.code, 1.0);
+  if (e.ref.in_dram()) {
+    ++structure_version_;
+    charge_dram_write();
+    *e.ref.dram_ptr() = e.node;
+    return;
+  }
+  // Only data/flags/epoch changed; the code/parent/children prefix on the
+  // device is already identical (the node was either stored whole at its
+  // CoW allocation or was private with the same links).
+  nv_store_partial(e.ref.nvbm_offset(), offsetof(PNode, data),
+                   sizeof(PNode) - offsetof(PNode, data), e.node);
+}
+
+void PmOctree::write_back_child(NodeRef ref, const PNode& node, int ci) {
+  touch_heat(node.code, 1.0);
+  if (ref.in_dram()) {
+    ++structure_version_;
+    charge_dram_write();
+    *ref.dram_ptr() = node;
+    return;
+  }
+  nv_store_partial(ref.nvbm_offset(),
+                   offsetof(PNode, child) + static_cast<std::size_t>(ci) * 8,
+                   8, node);
+}
+
+void PmOctree::write_back_children(NodeRef ref, const PNode& node) {
+  touch_heat(node.code, 1.0);
+  if (ref.in_dram()) {
+    ++structure_version_;
+    charge_dram_write();
+    *ref.dram_ptr() = node;
+    return;
+  }
+  nv_store_partial(ref.nvbm_offset(), offsetof(PNode, child),
+                   sizeof(node.child), node);
 }
 
 NodeRef PmOctree::alloc_node(const PNode& proto, bool prefer_dram) {
@@ -331,7 +397,22 @@ bool PmOctree::descend(const LocCode& code, Path& path) {
   return found;
 }
 
+void PmOctree::mark_dirty_path(Path& path, std::size_t i) {
+  // Stamp the summary bit on every DRAM ancestor of the mutation (NVBM
+  // entries are skipped: a shared NVBM ancestor is CoW-copied to the
+  // current epoch before any descendant mutation lands, and epoch ==
+  // current already forces a merge visit). Both the live node and the
+  // path's cached copy are stamped so later write-backs of the cached
+  // copy cannot clear the live bit.
+  for (std::size_t k = 0; k <= i; ++k) {
+    if (!path[k].ref.in_dram()) continue;
+    path[k].ref.dram_ptr()->flags |= kNodeSubtreeDirty;
+    path[k].node.flags |= kNodeSubtreeDirty;
+  }
+}
+
 NodeRef PmOctree::make_mutable(Path& path, std::size_t i) {
+  mark_dirty_path(path, i);
   NodeRef ref = path[i].ref;
   if (ref.in_dram()) {
     // DRAM nodes are never referenced by V_{i-1} directly (only their
@@ -365,7 +446,7 @@ NodeRef PmOctree::make_mutable(Path& path, std::size_t i) {
   } else {
     auto& parent = path[i - 1];
     parent.node.set_child(copy.code.child_index(), nref);
-    write_node(parent.ref, parent.node);
+    write_back_child(parent.ref, parent.node, copy.code.child_index());
   }
   path[i].ref = nref;
   path[i].node = copy;
@@ -482,7 +563,7 @@ void PmOctree::for_each_leaf_mut_pruned(
       if (fn(path[i].node.code, d)) {
         make_mutable(path, i);
         path[i].node.data = d;
-        write_node(path[i].ref, path[i].node);
+        write_back_data(path[i]);
       }
       path.pop_back();
       cursor.pop_back();
@@ -534,7 +615,7 @@ void PmOctree::insert(const LocCode& code, const CellData& data) {
   if (exists) {
     make_mutable(path, path.size() - 1);
     path.back().node.data = data;
-    write_node(path.back().ref, path.back().node);
+    write_back_data(path.back());
     return;
   }
   // Create full sibling groups level by level under the deepest ancestor
@@ -560,12 +641,13 @@ void PmOctree::insert(const LocCode& code, const CellData& data) {
         take_node = child;
       }
     }
-    write_node(path[pi].ref, parent);
+    write_back_children(path[pi].ref, parent);
     path[pi].node = parent;
+    logical_nodes_ += kChildrenPerNode;
     path.push_back({take_ref, take_node});
   }
   path.back().node.data = data;
-  write_node(path.back().ref, path.back().node);
+  write_back_data(path.back());
   note_depth(code.level());
   enforce_dram_budget();
 }
@@ -576,32 +658,43 @@ void PmOctree::update(const LocCode& code, const CellData& data) {
                 "update of nonexistent octant " << code.to_string());
   make_mutable(path, path.size() - 1);
   path.back().node.data = data;
-  write_node(path.back().ref, path.back().node);
+  write_back_data(path.back());
 }
 
-void PmOctree::free_subtree(NodeRef ref, bool tombstone_shared) {
-  if (ref.null()) return;
+std::size_t PmOctree::free_subtree(NodeRef ref, bool tombstone_shared) {
+  if (ref.null()) return 0;
   if (ref.in_dram()) {
     const PNode node = *ref.dram_ptr();
+    std::size_t n = 1;
     for (int i = 0; i < kChildrenPerNode; ++i)
-      free_subtree(node.child_ref(i), tombstone_shared);
+      n += free_subtree(node.child_ref(i), tombstone_shared);
     free_node(ref);
-    return;
+    return n;
   }
   PNode node = nv_load(ref.nvbm_offset());
   if (node.epoch == epoch_) {
+    std::size_t n = 1;
     for (int i = 0; i < kChildrenPerNode; ++i)
-      free_subtree(node.child_ref(i), tombstone_shared);
+      n += free_subtree(node.child_ref(i), tombstone_shared);
     free_node(ref);
-    return;
+    return n;
   }
   // Shared with V_{i-1}: may not be freed or mutated structurally. Mark the
   // subtree root as deleted (tombstone); GC reclaims it once the version
-  // that references it is superseded (§3.2, Deletion).
+  // that references it is superseded (§3.2, Deletion). The children are
+  // recursed with tombstoning off purely to COUNT the logical octants
+  // leaving V_i (a shared node's descendants are all shared, so nothing
+  // below is freed either).
+  std::size_t n = 1;
+  for (int i = 0; i < kChildrenPerNode; ++i)
+    n += free_subtree(node.child_ref(i), /*tombstone_shared=*/false);
   if (tombstone_shared && !node.deleted()) {
     node.flags |= kNodeDeleted;
-    write_node(ref, node);
+    touch_heat(node.code, 1.0);
+    nv_store_partial(ref.nvbm_offset(), offsetof(PNode, flags),
+                     sizeof(node.flags), node);
   }
+  return n;
 }
 
 void PmOctree::remove(const LocCode& code) {
@@ -613,8 +706,8 @@ void PmOctree::remove(const LocCode& code) {
   const std::size_t pi = path.size() - 2;
   make_mutable(path, pi);
   path[pi].node.set_child(code.child_index(), NodeRef{});
-  write_node(path[pi].ref, path[pi].node);
-  free_subtree(doomed, /*tombstone_shared=*/true);
+  write_back_child(path[pi].ref, path[pi].node, code.child_index());
+  logical_nodes_ -= free_subtree(doomed, /*tombstone_shared=*/true);
 }
 
 void PmOctree::refine(
@@ -637,7 +730,8 @@ void PmOctree::refine(
     if (init) init(child.code, child.data);
     parent.set_child(ci, alloc_node(child, place_new(child.code)));
   }
-  write_node(path[li].ref, parent);
+  write_back_children(path[li].ref, parent);
+  logical_nodes_ += kChildrenPerNode;
   note_depth(leaf.level() + 1);
 }
 
@@ -663,7 +757,8 @@ void PmOctree::coarsen(const LocCode& parent_code) {
     acc.pressure += child.data.pressure / kChildrenPerNode;
   }
   for (int ci = 0; ci < kChildrenPerNode; ++ci) {
-    free_subtree(parent.child_ref(ci), /*tombstone_shared=*/true);
+    logical_nodes_ -=
+        free_subtree(parent.child_ref(ci), /*tombstone_shared=*/true);
     parent.set_child(ci, NodeRef{});
   }
   parent.data = acc;
@@ -800,7 +895,7 @@ NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
         changed = true;
       }
     }
-    if (changed) write_node(ref, node);
+    if (changed) write_back_children(ref, node);
     return ref;
   }
   // DRAM node: convert children first, then move the node itself out.
@@ -837,7 +932,8 @@ NodeRef PmOctree::nvbmify(NodeRef ref, std::size_t* moved) {
     PNode child = nv_load(c.nvbm_offset());
     if (child.epoch == epoch_) {
       child.set_parent(nref);
-      nv_store(c.nvbm_offset(), child);
+      nv_store_partial(c.nvbm_offset(), offsetof(PNode, parent),
+                       sizeof(child.parent), child);
     }
   }
   free_node(ref);
@@ -861,29 +957,188 @@ void PmOctree::census_add(SampleCensus& census, const LocCode& code,
   }
 }
 
-PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
-                                                PersistStats& stats,
-                                                std::size_t* changed,
-                                                SampleCensus* census) {
-  if (ref.null()) return {ref, ref, false};
-  ++stats.nodes_total;
+// Per-task merge context. Workers share NO mutable tree/device state:
+// node loads go straight to the device image (accounting accumulated
+// locally), node stores and frees are logged, twin allocations come from
+// a pre-carved arena, DRAM split slots from a pre-reserved list. The
+// coordinator replays every logged side effect in deterministic task
+// order (replay_task), which makes the modeled counters, the telemetry
+// deltas, and the persisted image identical for any thread count.
+struct PmOctree::MergeCtx {
+  PmOctree* tree = nullptr;
+
+  // Deferred device accounting.
+  std::uint64_t read_ops = 0, read_bytes = 0, read_lines = 0;
+  std::uint64_t write_ops = 0, write_bytes = 0, write_lines = 0;
+  std::uint64_t dram_reads = 0, dram_writes = 0;
+
+  // Deferred side effects, replayed by the coordinator.
+  struct StoreRec {
+    std::uint64_t obj;       ///< payload offset of the node object
+    std::uint32_t off, len;  ///< stored byte range within the node
+    PNode node;              ///< full (flag-stripped) content for the cache
+  };
+  std::vector<StoreRec> stores;
+  std::vector<std::uint64_t> frees;
+  std::vector<std::pair<const PNode*, std::uint64_t>> twin_inserts;
+
+  // Deferred stats / telemetry.
+  PersistStats stats;
+  std::size_t twin_reuse = 0;
+  std::size_t changed = 0;
+
+  // Allocation sources: pre-carved for workers; `direct` (the crown /
+  // coordinator context) allocates straight from the heap and DRAM pool.
+  nvbm::Heap::Arena arena;
+  bool has_arena = false;
+  std::vector<PNode*> dram_slots;
+  std::size_t next_dram_slot = 0;
+  bool direct = false;
+  /// Finished task results, consulted by the crown merge at task roots.
+  const std::unordered_map<std::uint64_t, MergeResult>* results = nullptr;
+
+  // Measure-pass output: exact allocation demand the carve satisfies.
+  std::size_t need_twins = 0;
+  std::size_t need_dram = 0;
+
+  PNode load(std::uint64_t off) {
+    PNode n;
+    std::memcpy(&n, tree->device().raw(off, sizeof(PNode)), sizeof(PNode));
+    ++read_ops;
+    read_bytes += sizeof(PNode);
+    read_lines += tree->device().lines_of(off, sizeof(PNode));
+    return n;
+  }
+  void store_range(std::uint64_t obj, std::size_t off, std::size_t len,
+                   const PNode& n) {
+    PNode clean = n;
+    clean.flags &= ~kNodeSubtreeDirty;
+    std::memcpy(tree->device().raw(obj + off, len),
+                reinterpret_cast<const std::byte*>(&clean) + off, len);
+    ++write_ops;
+    write_bytes += len;
+    write_lines += tree->device().lines_of(obj + off, len);
+    stores.push_back({obj, static_cast<std::uint32_t>(off),
+                      static_cast<std::uint32_t>(len), clean});
+  }
+  void store(std::uint64_t obj, const PNode& n) {
+    store_range(obj, 0, sizeof(PNode), n);
+  }
+  void store_children(std::uint64_t obj, const PNode& n) {
+    store_range(obj, offsetof(PNode, child), sizeof(n.child), n);
+  }
+  std::uint64_t alloc_twin() {
+    if (direct) return tree->heap_.alloc(kNodeSize);
+    return arena.alloc();
+  }
+  PNode* take_dram_slot() {
+    if (direct) {
+      PmOctree& t = *tree;
+      PNode* slot = nullptr;
+      if (!t.dram_free_.empty()) {
+        slot = t.dram_free_.back();
+        t.dram_free_.pop_back();
+      } else {
+        t.dram_pool_.emplace_back();
+        slot = &t.dram_pool_.back();
+      }
+      ++t.dram_node_count_;
+      return slot;
+    }
+    PMO_DCHECK(next_dram_slot < dram_slots.size());
+    return dram_slots[next_dram_slot++];
+  }
+
+  struct MeasureR {
+    bool wd = false;       ///< the merge's working ref will be DRAM
+    bool changed = false;  ///< the merge will report this subtree changed
+  };
+  MeasureR measure(PmOctree& t, NodeRef ref);
+};
+
+struct PmOctree::MergeTask {
+  NodeRef root;
+  MergeCtx ctx;
+  MergeResult result;
+};
+
+// Mirrors persist_subtree's decisions exactly, counting the twin
+// allocations and DRAM split slots the merge will perform — so the carve
+// is exact and Arena::alloc never falls back to shared heap state. Reads
+// are charged here AND in the merge pass: the two-pass scheme honestly
+// pays for its measurement.
+PmOctree::MergeCtx::MeasureR PmOctree::MergeCtx::measure(PmOctree& t,
+                                                         NodeRef ref) {
+  if (ref.null()) return {};
   if (ref.in_nvbm()) {
-    PNode node = nv_load(ref.nvbm_offset());
-    if (census != nullptr)
-      census_add(*census, node.code, node.data, false);
+    const PNode node = load(ref.nvbm_offset());
+    if (node.epoch != t.epoch_) return {false, false};
+    bool wd = false;
+    for (int i = 0; i < kChildrenPerNode; ++i)
+      wd |= measure(t, node.child_ref(i)).wd;
+    if (wd) {
+      ++need_twins;  // split: an NVBM twin object ...
+      ++need_dram;   // ... plus a DRAM working slot
+    }
+    return {wd, true};
+  }
+  ++dram_reads;
+  const PNode* ptr = ref.dram_ptr();
+  const bool clean =
+      ptr->epoch != t.epoch_ && (ptr->flags & kNodeSubtreeDirty) == 0;
+  if (t.config_.persist_pruning && clean &&
+      t.twins_.find(ptr) != t.twins_.end())
+    return {true, false};
+  const bool dirty = ptr->epoch == t.epoch_;
+  bool child_changed = false;
+  for (int i = 0; i < kChildrenPerNode; ++i)
+    child_changed |= measure(t, ptr->child_ref(i)).changed;
+  if (!dirty && !child_changed && t.twins_.find(ptr) != t.twins_.end())
+    return {true, false};
+  ++need_twins;
+  return {true, true};
+}
+
+void PmOctree::measure_subtree(NodeRef ref, MergeCtx& ctx) {
+  ctx.measure(*this, ref);
+}
+
+bool PmOctree::merge_would_recurse(NodeRef ref) {
+  if (ref.null()) return false;
+  if (ref.in_nvbm()) {
+    const PNode node = device().load<PNode>(ref.nvbm_offset());
+    return node.epoch == epoch_;  // shared subtrees are final already
+  }
+  charge_dram_read();
+  const PNode* ptr = ref.dram_ptr();
+  const bool clean =
+      ptr->epoch != epoch_ && (ptr->flags & kNodeSubtreeDirty) == 0;
+  return !(config_.persist_pruning && clean &&
+           twins_.find(ptr) != twins_.end());
+}
+
+PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref, MergeCtx& ctx) {
+  if (ref.null()) return {ref, ref, false};
+  if (ctx.results != nullptr) {
+    if (const auto it = ctx.results->find(ref.bits());
+        it != ctx.results->end())
+      return it->second;
+  }
+  if (ref.in_nvbm()) {
+    ++ctx.stats.visits;
+    PNode node = ctx.load(ref.nvbm_offset());
     if (node.epoch != epoch_) {
       // Shared with V_{i-1}. Invariant: a shared NVBM node never has DRAM
-      // descendants (established by the conversion below at the persist
-      // that made it shared, and structural changes CoW it private).
+      // descendants (established by the split below at the persist that
+      // made it shared, and structural changes CoW it private).
       return {ref, ref, false};
     }
     // Private NVBM node: persist the children first.
-    ++(*changed);
+    ++ctx.changed;
     MergeResult child_res[kChildrenPerNode];
     bool have_dram_child = false;
     for (int i = 0; i < kChildrenPerNode; ++i) {
-      child_res[i] =
-          persist_subtree(node.child_ref(i), stats, changed, census);
+      child_res[i] = persist_subtree(node.child_ref(i), ctx);
       if (!child_res[i].wref.null() && child_res[i].wref.in_dram())
         have_dram_child = true;
     }
@@ -896,7 +1151,7 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
           relink = true;
         }
       }
-      if (relink) write_node(ref, node);
+      if (relink) ctx.store_children(ref.nvbm_offset(), node);
       return {ref, ref, true};  // created this epoch: new vs V_{i-1}
     }
     // This node sits above DRAM children: split it into a DRAM working
@@ -909,37 +1164,41 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
       working.set_child(i, child_res[i].wref);
     }
     twin.set_parent(NodeRef{});
-    const std::uint64_t twin_off = heap_.alloc(sizeof(PNode));
-    nv_store(twin_off, twin);
-    PNode* slot = nullptr;
-    if (!dram_free_.empty()) {
-      slot = dram_free_.back();
-      dram_free_.pop_back();
-    } else {
-      dram_pool_.emplace_back();
-      slot = &dram_pool_.back();
-    }
+    const std::uint64_t twin_off = ctx.alloc_twin();
+    ctx.store(twin_off, twin);
+    PNode* slot = ctx.take_dram_slot();
     *slot = working;
-    ++dram_node_count_;
-    charge_dram_write();
-    twins_[slot] = twin_off;
-    nv_free(ref.nvbm_offset());
-    ++stats.merged_from_dram;
+    ++ctx.dram_writes;
+    ctx.twin_inserts.emplace_back(slot, twin_off);
+    ctx.frees.push_back(ref.nvbm_offset());
+    ++ctx.stats.merged_from_dram;
     return {NodeRef::dram(slot), NodeRef::nvbm(twin_off), true};
   }
 
-  // DRAM node: persist the children first, then decide whether the twin
-  // from the previous persist can be reused.
-  charge_dram_read();
+  // DRAM node.
+  ++ctx.dram_reads;
   PNode* ptr = ref.dram_ptr();
-  if (census != nullptr) census_add(*census, ptr->code, ptr->data, true);
+  const bool clean =
+      ptr->epoch != epoch_ && (ptr->flags & kNodeSubtreeDirty) == 0;
+  if (config_.persist_pruning && clean) {
+    // Entirely-clean subtree: nothing under it mutated since its durable
+    // twin was recorded, so the twin already IS its persisted image —
+    // skip the subtree in O(1). A skip is not a visit: `visits` counts
+    // octants the merge processes, `pruned_subtrees` counts the skips.
+    if (const auto it = twins_.find(ptr); it != twins_.end()) {
+      ++ctx.stats.pruned_subtrees;
+      return {ref, NodeRef::nvbm(it->second), false};
+    }
+  }
+  ++ctx.stats.visits;
+  // Persist the children first, then decide whether the twin from the
+  // previous persist can be reused.
   const bool dirty = ptr->epoch == epoch_;
   PNode twin_content = *ptr;
   bool child_changed = false;
   bool working_relink = false;
   for (int i = 0; i < kChildrenPerNode; ++i) {
-    const auto sub =
-        persist_subtree(twin_content.child_ref(i), stats, changed, census);
+    const auto sub = persist_subtree(twin_content.child_ref(i), ctx);
     twin_content.set_child(i, sub.pref);
     child_changed |= sub.changed;
     if (!(sub.wref == ptr->child_ref(i))) {
@@ -947,22 +1206,186 @@ PmOctree::MergeResult PmOctree::persist_subtree(NodeRef ref,
       working_relink = true;
     }
   }
-  if (working_relink) charge_dram_write();
+  if (working_relink) ++ctx.dram_writes;
+  // Visited: the summary bit has served its purpose for this epoch.
+  ptr->flags &= ~kNodeSubtreeDirty;
   const auto twin_it = twins_.find(ptr);
   if (!dirty && !child_changed && twin_it != twins_.end()) {
-    tm_.twin_reuse->add();
+    ++ctx.twin_reuse;
     return {ref, NodeRef::nvbm(twin_it->second), false};  // reuse: shared
   }
   // Write a fresh durable twin; the old one (if any) still belongs to
   // V_{i-1} and is reclaimed by GC once that version is superseded.
   twin_content.epoch = epoch_;
   twin_content.set_parent(NodeRef{});  // advisory; fixed by the parent
-  const std::uint64_t off = heap_.alloc(sizeof(PNode));
-  nv_store(off, twin_content);
-  twins_[ptr] = off;
-  ++stats.merged_from_dram;
-  ++(*changed);
+  const std::uint64_t off = ctx.alloc_twin();
+  ctx.store(off, twin_content);
+  ctx.twin_inserts.emplace_back(ptr, off);
+  ++ctx.stats.merged_from_dram;
+  ++ctx.changed;
   return {ref, NodeRef::nvbm(off), true};
+}
+
+void PmOctree::replay_task(MergeTask& task, PersistStats& stats,
+                           std::size_t& changed) {
+  MergeCtx& c = task.ctx;
+  device().account_reads(c.read_ops, c.read_bytes, c.read_lines);
+  device().account_writes(c.write_ops, c.write_bytes, c.write_lines);
+  for (const auto& s : c.stores) {
+    device().mark_written(s.obj + s.off, s.len);
+    cache_.update(s.obj, s.node, epoch_);
+  }
+  for (const auto off : c.frees) nv_free(off);
+  for (const auto& [slot, off] : c.twin_inserts) twins_[slot] = off;
+  // DRAM-side accounting (same per-node line math as charge_dram_*).
+  const auto lines = lines_for(kNodeSize, config_.cache_line);
+  dram_.reads += c.dram_reads;
+  dram_.lines_read += c.dram_reads * lines;
+  dram_.modeled_read_ns += c.dram_reads * lines * config_.dram_read_ns;
+  dram_.writes += c.dram_writes;
+  dram_.lines_written += c.dram_writes * lines;
+  dram_.modeled_write_ns += c.dram_writes * lines * config_.dram_write_ns;
+  stats.visits += c.stats.visits;
+  stats.pruned_subtrees += c.stats.pruned_subtrees;
+  stats.merged_from_dram += c.stats.merged_from_dram;
+  tm_.twin_reuse->add(c.twin_reuse);
+  changed += c.changed;
+  if (c.has_arena) {
+    PMO_DCHECK(c.arena.remaining() == 0);  // the measure pass is exact
+    heap_.release_arena(c.arena);
+    c.has_arena = false;
+  }
+}
+
+PmOctree::MergeResult PmOctree::run_merge(PersistStats& stats,
+                                          std::size_t& changed) {
+  // Crown pre-walk (levels 0-1, sequential): the merge tasks are the
+  // non-null level-2 subtrees the merge will actually reach. Partitioning
+  // at the grandchildren yields up to 64 independent tasks over disjoint
+  // SFC key ranges (the Cornerstone-style decomposition).
+  std::vector<MergeTask> tasks;
+  if (merge_would_recurse(cur_root_)) {
+    auto peek = [&](NodeRef r) {
+      if (r.in_dram()) {
+        charge_dram_read();
+        return *r.dram_ptr();
+      }
+      return device().load<PNode>(r.nvbm_offset());
+    };
+    const PNode root_node = peek(cur_root_);
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c1 = root_node.child_ref(i);
+      if (c1.null() || !merge_would_recurse(c1)) continue;
+      const PNode mid = peek(c1);
+      for (int j = 0; j < kChildrenPerNode; ++j) {
+        const NodeRef c2 = mid.child_ref(j);
+        if (!c2.null()) {
+          MergeTask t;
+          t.root = c2;
+          t.ctx.tree = this;
+          tasks.push_back(std::move(t));
+        }
+      }
+    }
+  }
+
+  // The same measure/carve/merge/replay pipeline runs at every thread
+  // count (including 1) — only the executor differs — so the heap layout
+  // and every counter are a pure function of the tree, never of
+  // scheduling. persist() reached from inside a pool task (cluster
+  // lanes) falls back to the inline executor instead of nesting.
+  const int want = config_.persist_threads;
+  const bool use_pool = pool_ != nullptr && pool_->size() > 1 &&
+                        (want == 0 || want > 1) &&
+                        !exec::in_parallel_task() && tasks.size() > 1;
+  auto run_tasks = [&](const std::function<void(std::size_t)>& fn) {
+    if (use_pool) {
+      pool_->parallel_for(tasks.size(), fn);
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) fn(i);
+    }
+  };
+
+  // Measure (read-only, parallel): exact twin/split demand per task.
+  run_tasks(
+      [&](std::size_t i) { measure_subtree(tasks[i].root, tasks[i].ctx); });
+
+  // Carve per-task allocation sources (sequential): the NVBM layout and
+  // DRAM slot assignment become a pure function of task order.
+  for (auto& t : tasks) {
+    MergeCtx& c = t.ctx;
+    if (c.need_twins > 0) {
+      c.arena = heap_.carve_arena(kNodeSize, c.need_twins);
+      c.has_arena = true;
+    }
+    c.dram_slots.reserve(c.need_dram);
+    for (std::size_t k = 0; k < c.need_dram; ++k) {
+      PNode* slot = nullptr;
+      if (!dram_free_.empty()) {
+        slot = dram_free_.back();
+        dram_free_.pop_back();
+      } else {
+        dram_pool_.emplace_back();
+        slot = &dram_pool_.back();
+      }
+      ++dram_node_count_;
+      c.dram_slots.push_back(slot);
+    }
+  }
+
+  // Merge (parallel): a worker touches only task-local state, its own
+  // disjoint subtree's DRAM nodes, and fresh arena-owned NVBM objects.
+  run_tasks([&](std::size_t i) {
+    tasks[i].result = persist_subtree(tasks[i].root, tasks[i].ctx);
+  });
+
+  // Deterministic reduction: replay deferred side effects in task order.
+  std::unordered_map<std::uint64_t, MergeResult> results;
+  results.reserve(tasks.size());
+  for (auto& t : tasks) {
+    replay_task(t, stats, changed);
+    results.emplace(t.root.bits(), t.result);
+  }
+
+  // Crown merge (sequential): levels 0-1 plus anything the pre-walk ruled
+  // out of the task set; task roots resolve through the results map. The
+  // root path-copy stays on this thread, so the crash-consistency
+  // argument (V_{i-1} untouched until the root swap) is unchanged.
+  MergeTask crown;
+  crown.root = cur_root_;
+  crown.ctx.tree = this;
+  crown.ctx.direct = true;
+  crown.ctx.results = &results;
+  crown.result = persist_subtree(cur_root_, crown.ctx);
+  replay_task(crown, stats, changed);
+  return crown.result;
+}
+
+void PmOctree::collect_census(NodeRef root, SampleCensus& census) {
+  // Advisory feature-sampling walk, run sequentially after the merge.
+  // Decoupled from the merge — a pruned merge never sees clean subtrees,
+  // and a census that varied with the pruning knob would steer the layout
+  // transformation differently and break image bit-identity. Deliberately
+  // charge-free: the paper folds sampling into the merge at zero marginal
+  // cost, and the walk must not re-inflate the counters pruning saved.
+  if (root.null()) return;
+  std::vector<NodeRef> stack{root};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    PNode node;
+    if (ref.in_dram()) {
+      node = *ref.dram_ptr();
+    } else {
+      std::memcpy(&node, device().raw(ref.nvbm_offset(), kNodeSize),
+                  kNodeSize);
+    }
+    census_add(census, node.code, node.data, ref.in_dram());
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
 }
 
 PersistStats PmOctree::persist() {
@@ -972,17 +1395,15 @@ PersistStats PmOctree::persist() {
   // 1. Merge: give every octant of V_i an NVBM representative. Changed
   //    octants (and octants whose subtree changed) get fresh storage;
   //    everything else is shared with V_{i-1}. The DRAM working copies
-  //    (C0) stay in place. The same walk counts octants, counts changes,
-  //    and collects the feature-sampling census — no extra traversals.
+  //    (C0) stay in place. With dirty-subtree pruning the merge touches
+  //    only the dirty fringe, so the octant total comes from the
+  //    incrementally maintained logical count, not from the walk.
+  stats.nodes_total = logical_nodes_;
   std::size_t changed = 0;
-  SampleCensus census;
-  const bool want_census =
-      config_.enable_transform && !features_.empty();
   MergeResult res;
   {
     telemetry::Span merge_span("merge");  // pmoctree.persist.merge
-    res = persist_subtree(cur_root_, stats, &changed,
-                          want_census ? &census : nullptr);
+    res = run_merge(stats, changed);
   }
   const NodeRef new_prev = res.pref;
   cur_root_ = res.wref;  // NVBM-above-DRAM nodes may have joined C0
@@ -1001,13 +1422,19 @@ PersistStats PmOctree::persist() {
   device().flush_all();
   device().persist_barrier();
   const NodeRef old_prev = prev_root_;
+  // The node-count slot is advisory (restore() only reads it for the
+  // telemetry baseline), so it goes first: a crash between the slot
+  // stores can misreport a statistic but never corrupt the tree.
+  heap_.set_root(kNodeCountSlot, logical_nodes_);
   heap_.set_root(kPrevRootSlot, new_prev.nvbm_offset());
   heap_.set_root(kEpochSlot, epoch_);
   telemetry::trace::instant(
       "pmoctree.version_swap", "pmoctree",
       {{"epoch", static_cast<double>(epoch_)},
        {"delta_bytes", static_cast<double>(stats.delta_bytes)},
-       {"nodes_shared", static_cast<double>(stats.nodes_shared)}});
+       {"nodes_shared", static_cast<double>(stats.nodes_shared)},
+       {"visits", static_cast<double>(stats.visits)},
+       {"pruned_subtrees", static_cast<double>(stats.pruned_subtrees)}});
 
   // 3. Tombstone octants that existed only in the superseded version.
   //    When GC runs right away it reclaims them directly, so the explicit
@@ -1024,7 +1451,8 @@ PersistStats PmOctree::persist() {
       PNode node = nv_load(ref.nvbm_offset());
       if (!node.deleted()) {
         node.flags |= kNodeDeleted;
-        nv_store(ref.nvbm_offset(), node);
+        nv_store_partial(ref.nvbm_offset(), offsetof(PNode, flags),
+                         sizeof(node.flags), node);
         ++stats.tombstoned;
       }
       for (int i = 0; i < kChildrenPerNode; ++i) {
@@ -1037,6 +1465,11 @@ PersistStats PmOctree::persist() {
 
   prev_root_ = new_prev;
   ++epoch_;
+  // Every cached node now belongs to the just-sealed epoch and is still
+  // byte-correct (the cache is write-through and frees invalidate their
+  // offsets eagerly), so carry the whole cache across the bump instead of
+  // letting the epoch stamp expire it wholesale.
+  cache_.restamp(epoch_ - 1, epoch_);
 
   // 4. Reclaim superseded octants (GC is never run *during* the merge).
   if (config_.gc_on_persist) {
@@ -1047,8 +1480,11 @@ PersistStats PmOctree::persist() {
   // 5. Decay heat and re-layout hot subtrees (the paper triggers dynamic
   //    transformation only after merging completes).
   for (auto& [id, h] : heat_) h *= 0.5;
+  const bool want_census = config_.enable_transform && !features_.empty();
   if (want_census) {
     telemetry::Span tr_span("transform");  // pmoctree.persist.transform
+    SampleCensus census;
+    collect_census(cur_root_, census);
     transform_with(census);
   }
 
@@ -1081,6 +1517,8 @@ PersistStats PmOctree::persist() {
   tm_.persists->add();
   tm_.merged_from_dram->add(stats.merged_from_dram);
   tm_.tombstoned->add(stats.tombstoned);
+  tm_.persist_visits->add(stats.visits);
+  tm_.persist_pruned->add(stats.pruned_subtrees);
   telemetry::trace::instant(
       "pmoctree.cache", "pmoctree",
       {{"hits", static_cast<double>(cache_.stats().hits)},
@@ -1115,13 +1553,17 @@ std::size_t PmOctree::gc() {
   std::unordered_set<std::uint64_t> live;
   collect_reachable_nvbm(prev_root_, live);
   collect_reachable_nvbm(cur_root_, live);
-  const std::size_t freed = heap_.sweep(
-      [&](std::uint64_t off) { return live.count(off) != 0; });
   // The sweep frees offsets behind the node accessor's back and the heap
-  // may hand them out again within this epoch — the stamp cannot protect
-  // cached copies, so drop everything (they would go stale at the next
-  // epoch bump anyway).
-  tm_.cache_invalidations->add(cache_.clear());
+  // may hand them out again within this epoch — invalidate exactly the
+  // swept offsets so the surviving working set keeps its hit rate across
+  // the persist (the cache is restamped, not cleared, at epoch bumps).
+  std::size_t invalidated = 0;
+  const std::size_t freed = heap_.sweep([&](std::uint64_t off) {
+    const bool is_live = live.count(off) != 0;
+    if (!is_live && cache_.invalidate(off)) ++invalidated;
+    return is_live;
+  });
+  tm_.cache_invalidations->add(invalidated);
   ++structure_version_;
   tm_.gc_sweeps->add();
   tm_.gc_freed->add(freed);
@@ -1138,10 +1580,12 @@ void PmOctree::destroy() {
   dram_free_.clear();
   twins_.clear();
   dram_node_count_ = 0;
+  logical_nodes_ = 0;
   cur_root_ = NodeRef{};
   prev_root_ = NodeRef{};
   heap_.set_root(kPrevRootSlot, 0);
   heap_.set_root(kEpochSlot, 0);
+  heap_.set_root(kNodeCountSlot, 0);
   heap_.sweep([](std::uint64_t) { return false; });
   c0_set_.clear();
   heat_.clear();

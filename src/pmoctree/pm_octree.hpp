@@ -34,6 +34,10 @@
 #include "pmoctree/node_cache.hpp"
 #include "telemetry/telemetry.hpp"
 
+namespace pmo::exec {
+class ThreadPool;
+}
+
 namespace pmo::pmoctree {
 
 /// Application feature function (§3.3): returns true when the octant's
@@ -50,6 +54,14 @@ struct PersistStats {
   std::size_t gc_freed = 0;
   std::uint64_t delta_bytes = 0;  ///< replica delta size (new/changed nodes)
   double overlap_ratio = 0.0;     ///< shared / total (the paper's metric)
+  /// Octants the merge actually processed (pruned-subtree roots are
+  /// skipped in O(1) and count in pruned_subtrees instead). With
+  /// dirty-subtree pruning this tracks the dirty frontier, not the tree
+  /// size: after mutations to a small fraction of leaves,
+  /// visits << nodes_total.
+  std::size_t visits = 0;
+  /// Clean subtrees skipped in O(1) via their durable twin.
+  std::size_t pruned_subtrees = 0;
 };
 
 /// Point-in-time structural statistics.
@@ -171,6 +183,14 @@ class PmOctree {
   /// from both roots. Returns the number of octants reclaimed.
   std::size_t gc();
 
+  /// Attaches (or detaches, with nullptr) an exec pool for the persist
+  /// merge. The pool is borrowed, never owned; thread count changes
+  /// wall-clock only (see the determinism contract in exec/pool.hpp) —
+  /// modeled counters and the persisted image are bit-identical with and
+  /// without a pool. When persist() is reached from inside a pool task
+  /// (cluster lanes), the merge falls back to inline execution.
+  void set_exec(exec::ThreadPool* pool) noexcept { pool_ = pool; }
+
   /// pm_delete: frees all octants in both tiers and clears the roots.
   void destroy();
 
@@ -237,6 +257,9 @@ class PmOctree {
   // Durable root-table slots (public for tests & crash tooling).
   static constexpr int kPrevRootSlot = 0;
   static constexpr int kEpochSlot = 1;
+  /// Logical octant count of the persisted version, written (before the
+  /// root swap) so restore() recovers nodes_total without a traversal.
+  static constexpr int kNodeCountSlot = 2;
 
  private:
   PmOctree(nvbm::Heap& heap, PmConfig config);
@@ -260,6 +283,15 @@ class PmOctree {
   /// again by the heap within the same epoch, so the epoch stamp alone
   /// cannot protect a cached copy.
   void nv_free(std::uint64_t offset);
+  /// Partial NVBM node store: writes only [field_off, field_off+len) of
+  /// the node image (one child slot, the children array, the data..epoch
+  /// tail), charging the device for the touched lines only. Full-node
+  /// stores were the dominant write amplifier on the mutation path; every
+  /// partial-store site guarantees the untouched device bytes already
+  /// equal `full`'s, so the stored image is identical to a full store.
+  /// The cache stays coherent via a full-node update.
+  void nv_store_partial(std::uint64_t offset, std::size_t field_off,
+                        std::size_t len, const PNode& full);
 
   // placement --------------------------------------------------------------
   LocCode subtree_id(const LocCode& code) const;
@@ -310,6 +342,16 @@ class PmOctree {
   /// Makes path[i]'s node mutable in place (copy-on-write as needed),
   /// updating the path and parent links. Returns the (possibly new) ref.
   NodeRef make_mutable(Path& path, std::size_t i);
+  /// Write-back of a leaf-data mutation along a traversal path: DRAM in
+  /// place, NVBM via a data..epoch tail partial store (the code/parent/
+  /// children prefix is unchanged by construction).
+  void write_back_data(PathEntry& e);
+  /// Write-back of a single-child-slot relink (CoW parent fix-up, remove,
+  /// subtree replacement).
+  void write_back_child(NodeRef ref, const PNode& node, int ci);
+  /// Write-back of a children-array-only change (sibling-group creation,
+  /// refine, merge/eviction relinks).
+  void write_back_children(NodeRef ref, const PNode& node);
   /// Converts the whole subtree to NVBM residence (the eviction path of
   /// the merge routine: the DRAM copies are dropped).
   NodeRef nvbmify(NodeRef ref, std::size_t* moved);
@@ -324,8 +366,39 @@ class PmOctree {
     NodeRef pref;           ///< persistent-version ref (always NVBM)
     bool changed = false;   ///< pref differs from the previous version's
   };
-  MergeResult persist_subtree(NodeRef ref, PersistStats& stats,
-                              std::size_t* changed, SampleCensus* census);
+  /// Per-task merge context (defined in pm_octree.cpp): routes a merge
+  /// task's node loads/stores, twin allocations, frees, DRAM bookkeeping
+  /// and stats through task-local buffers so parallel workers share no
+  /// mutable tree/device state; the coordinator replays every logged side
+  /// effect in deterministic task order.
+  struct MergeCtx;
+  /// One level-2 merge task: its subtree root plus the pre-merge
+  /// measurement (exact twin/split/alloc counts) and the deferred logs.
+  struct MergeTask;
+  MergeResult persist_subtree(NodeRef ref, MergeCtx& ctx);
+  /// The whole merge pipeline: crown pre-walk -> parallel measure ->
+  /// arena carve -> parallel merge -> deterministic replay -> sequential
+  /// crown merge. Returns the root MergeResult.
+  MergeResult run_merge(PersistStats& stats, std::size_t& changed);
+  /// Read-only pre-merge measurement of one task subtree: exact counts of
+  /// twin allocations and DRAM split slots the merge will need (mirrors
+  /// persist_subtree's decisions), so arenas are carved exactly.
+  void measure_subtree(NodeRef ref, MergeCtx& ctx);
+  /// Mirrors persist_subtree's "will this visit recurse?" decision for
+  /// the crown pre-walk (levels 0-1).
+  bool merge_would_recurse(NodeRef ref);
+  /// Applies one finished task's deferred side effects (coordinator).
+  void replay_task(MergeTask& task, PersistStats& stats,
+                   std::size_t& changed);
+  /// Stamps kNodeSubtreeDirty on the DRAM prefix of path[0..i] (the
+  /// mutation's ancestor chain). NVBM entries are skipped: a shared NVBM
+  /// ancestor gets CoW-copied (fresh epoch) before any descendant
+  /// mutation lands, and epoch == current already forces a merge visit.
+  void mark_dirty_path(Path& path, std::size_t i);
+  /// Standalone post-merge sampling census walk (read-only, sequential).
+  /// Decoupled from the merge so pruning cannot starve the
+  /// transformation's sample of clean subtrees.
+  void collect_census(NodeRef ref, SampleCensus& census);
   /// Adds one octant to the sampling census (reservoir per subtree).
   void census_add(SampleCensus& census, const LocCode& code,
                   const CellData& data, bool in_dram);
@@ -335,7 +408,9 @@ class PmOctree {
   NodeRef dramify(NodeRef ref, std::size_t* moved, std::size_t node_limit);
   void collect_reachable_nvbm(NodeRef root,
                               std::unordered_set<std::uint64_t>& out);
-  void free_subtree(NodeRef ref, bool tombstone_shared);
+  /// Returns the number of logical octants removed from V_i (tombstoned
+  /// shared subtrees are counted recursively without being freed).
+  std::size_t free_subtree(NodeRef ref, bool tombstone_shared);
   void note_depth(int level) noexcept {
     if (level > depth_) depth_ = level;
   }
@@ -361,6 +436,8 @@ class PmOctree {
     telemetry::Counter* cache_evictions;     ///< pmoctree.cache.evictions
     telemetry::Counter* cache_invalidations; ///< pmoctree.cache.invalidations
     telemetry::Counter* cursor_lca_reuse;    ///< pmoctree.cursor.lca_reuse
+    telemetry::Counter* persist_visits;      ///< pmoctree.persist.visits
+    telemetry::Counter* persist_pruned;  ///< pmoctree.persist.pruned_subtrees
   };
 
   // state --------------------------------------------------------------------
@@ -381,6 +458,13 @@ class PmOctree {
   NodeRef prev_root_;
   std::uint32_t epoch_ = 1;
   int depth_ = 0;
+  /// Logical octant count of V_i, maintained incrementally by every
+  /// structural mutation (insert/refine add, remove/coarsen subtract).
+  /// This is what PersistStats::nodes_total reports — the merge no longer
+  /// traverses the whole tree, so it cannot count.
+  std::size_t logical_nodes_ = 0;
+  /// Borrowed exec pool for the persist merge; nullptr = inline.
+  exec::ThreadPool* pool_ = nullptr;
 
   std::vector<FeatureFn> features_;
   /// Access heat per subtree id (decayed at each persist).

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "amr/droplet.hpp"
 #include "amr/pm_backend.hpp"
+#include "pmoctree/api.hpp"
 
 namespace pmo {
 namespace {
@@ -80,6 +82,43 @@ TEST(PerfSmoke, NodeCacheCutsNvbmLineReadsByAtLeast40Percent) {
   EXPECT_EQ(cached.leaves, uncached.leaves);
   EXPECT_EQ(cached.lines_written, uncached.lines_written);
   EXPECT_EQ(cached.nvbm_writes, uncached.nvbm_writes);
+}
+
+TEST(PerfSmoke, IncrementalPersistVisitsAtMost10PercentOfNodes) {
+  // The dirty-subtree pruning gate: after a full persist, mutating at most
+  // 1% of the leaves must let the next merge skip all the clean subtrees —
+  // persist.visits (octants the merge actually touches) stays at or below
+  // 10% of nodes_total. Counter-based, so the gate is exact and stable.
+  nvbm::Device dev(std::size_t{256} << 20, {});
+  nvbm::Heap heap(dev);
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = std::size_t{64} << 20;  // all of C0 stays in DRAM
+  auto tree = pmoctree::PmOctree::create(heap, pm);
+  for (int l = 0; l < 4; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  tree.persist();
+
+  std::vector<LocCode> leaves;
+  tree.for_each_leaf(
+      [&](const LocCode& c, const CellData&) { leaves.push_back(c); });
+  ASSERT_GE(leaves.size(), 1000u);  // level 4 uniform: 4096 leaves
+  const std::size_t touched = leaves.size() / 100;  // exactly 1%
+  ASSERT_GT(touched, 0u);
+  for (std::size_t i = 0; i < touched; ++i) {
+    CellData d;
+    d.vof = 0.25 + 0.001 * static_cast<double>(i);
+    tree.update(leaves[i * (leaves.size() / touched)], d);
+  }
+
+  const auto stats = tree.persist();
+  ASSERT_GT(stats.nodes_total, 0u);
+  EXPECT_GT(stats.pruned_subtrees, 0u);
+  EXPECT_LE(stats.visits * 100, stats.nodes_total * 10)
+      << "incremental persist visited " << stats.visits << " of "
+      << stats.nodes_total << " octants ("
+      << (100.0 * static_cast<double>(stats.visits) /
+          static_cast<double>(stats.nodes_total))
+      << "%)";
 }
 
 }  // namespace
