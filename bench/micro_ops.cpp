@@ -13,6 +13,7 @@
 
 #include "baseline/bptree.hpp"
 #include "bench_report.hpp"
+#include "serve/reader.hpp"
 
 using namespace pmo;
 
@@ -263,6 +264,42 @@ void BM_PmTraverseLeaves(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * 4096));
 }
 BENCHMARK(BM_PmTraverseLeaves);
+
+void BM_SnapshotPinUnpin(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{256} << 20, bench::device_config());
+  nvbm::Heap heap(dev);
+  auto tree = pmoctree::PmOctree::create(heap, pmoctree::PmConfig{});
+  for (int l = 0; l < 3; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  tree.persist();  // a durable epoch to pin
+  for (auto _ : state) {
+    auto snap = tree.pin_snapshot();
+    benchmark::DoNotOptimize(snap.epoch());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotPinUnpin);
+
+void BM_ServePointLookup(benchmark::State& state) {
+  nvbm::Device dev(std::size_t{256} << 20, bench::device_config());
+  nvbm::Heap heap(dev);
+  auto tree = pmoctree::PmOctree::create(heap, pmoctree::PmConfig{});
+  for (int l = 0; l < 4; ++l)
+    tree.refine_where([](const LocCode&, const CellData&) { return true; });
+  tree.persist();
+  serve::Reader reader(tree.pin_snapshot());
+  Rng rng(17);
+  const std::uint32_t side = 1u << 4;
+  for (auto _ : state) {
+    const auto code = LocCode::from_grid(
+        4, static_cast<std::uint32_t>(rng.below(side)),
+        static_cast<std::uint32_t>(rng.below(side)),
+        static_cast<std::uint32_t>(rng.below(side)));
+    benchmark::DoNotOptimize(reader.locate(code));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePointLookup);
 
 void BM_BptreeInsert(benchmark::State& state) {
   nvbm::Device dev(std::size_t{1} << 30, bench::device_config());

@@ -155,6 +155,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // bench_serve extension: the serving bench must report its aggregate
+  // throughput, latency percentiles, snapshot staleness, the epoch-based
+  // reclamation high-water mark and the deterministic verification hash
+  // (the --threads A/B bit-identity surface), plus the global query
+  // latency histogram.
+  if (doc->find("bench")->as_string() == "serve") {
+    const Value* serve = require(*doc, "serve", Value::Type::kObject, &err);
+    if (serve == nullptr) return fail(err);
+    for (const char* key : {"readers", "target_qps", "queries", "qps",
+                            "deferred_reclaim_hwm", "pins", "unpins"}) {
+      if (require(*serve, key, Value::Type::kNumber, &err) == nullptr) {
+        return fail("serve: " + err);
+      }
+    }
+    const Value* latency =
+        require(*serve, "latency", Value::Type::kObject, &err);
+    if (latency == nullptr) return fail("serve: " + err);
+    for (const char* key : {"p50_ns", "p95_ns", "p99_ns"}) {
+      if (require(*latency, key, Value::Type::kNumber, &err) == nullptr) {
+        return fail("serve.latency: " + err);
+      }
+    }
+    const Value* staleness =
+        require(*serve, "staleness", Value::Type::kObject, &err);
+    if (staleness == nullptr) return fail("serve: " + err);
+    if (require(*staleness, "max", Value::Type::kNumber, &err) == nullptr ||
+        require(*staleness, "mean", Value::Type::kNumber, &err) == nullptr) {
+      return fail("serve.staleness: " + err);
+    }
+    if (require(*serve, "result_hash", Value::Type::kString, &err) ==
+            nullptr ||
+        require(*serve, "verify_charges", Value::Type::kObject, &err) ==
+            nullptr) {
+      return fail("serve: " + err);
+    }
+    if (metrics->find("histograms")->find("serve.query_ns") == nullptr) {
+      return fail("metrics.histograms missing \"serve.query_ns\"");
+    }
+  }
+
   // Wear heatmaps: always present (possibly empty); each entry carries
   // the per-address-range bucket array.
   const Value* wear =

@@ -69,7 +69,11 @@ void MeshBackend::sweep_leaves_chunked(std::size_t chunks,
     ch.leaves = n;
     fn(ch);
   };
-  if (pool != nullptr) {
+  // When the sweep is reached from inside a pool task (a serve-style
+  // mutator running as one run_tasks() lane), fall back to inline chunks
+  // instead of tripping the nesting guard — same decomposition, same
+  // results, sequential execution.
+  if (pool != nullptr && !exec::in_parallel_task()) {
     pool->parallel_for(chunks, run_chunk);
   } else {
     for (std::size_t k = 0; k < chunks; ++k) run_chunk(k);

@@ -64,6 +64,17 @@ class PmOctreeBackend final : public MeshBackend {
     tree_->register_feature(std::move(fn));
   }
 
+  /// Pins the latest durable epoch for concurrent serve readers. Safe
+  /// from any thread; handles must be released before recover() replaces
+  /// the tree (the registry outlives it, but the pinned bytes live in
+  /// this backend's heap).
+  pmoctree::SnapshotHandle pin_snapshot() { return tree_->pin_snapshot(); }
+  /// Epoch of the latest durable (pinnable) version; 0 before the first
+  /// persisted step. Safe from any thread.
+  std::uint32_t durable_epoch() const {
+    return tree_->snapshot_published_epoch();
+  }
+
   pmoctree::PmOctree& tree() { return *tree_; }
   const pmoctree::PersistStats& last_persist() const {
     return last_persist_;

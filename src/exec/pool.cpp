@@ -85,6 +85,10 @@ void ThreadPool::worker_main(int ctx_id) {
   }
 }
 
+void ThreadPool::run_tasks(const std::vector<Task>& tasks) {
+  parallel_for(tasks.size(), [&tasks](std::size_t i) { tasks[i](); });
+}
+
 void ThreadPool::parallel_for(std::size_t n, const IndexFn& fn) {
   if (t_in_parallel_for) {
     throw std::logic_error(

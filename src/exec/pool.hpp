@@ -69,6 +69,18 @@ class ThreadPool {
   /// nesting is rejected, not silently serialized.
   void parallel_for(std::size_t n, const IndexFn& fn);
 
+  using Task = std::function<void()>;
+
+  /// Runs each task exactly once, concurrently across the pool, and
+  /// blocks until all finished (parallel_for over the task list). This is
+  /// the serve pattern: task 0 is the droplet mutator, tasks 1..N are
+  /// reader lanes querying pinned snapshots. Tasks must not wait on each
+  /// other — with one thread they run sequentially in index order, so any
+  /// cross-task wait deadlocks. Layered code that would fan out again
+  /// (persist's merge, the solver's chunked sweep) detects
+  /// in_parallel_task() and runs inline instead.
+  void run_tasks(const std::vector<Task>& tasks);
+
  private:
   void worker_main(int ctx_id);
   /// Claims and runs indices until the job is exhausted or cancelled.

@@ -18,14 +18,35 @@
 // sweeps until it finds an unreferenced slot. Deterministic — cache state
 // is a pure function of the per-tree access sequence, which the exec
 // determinism contract already fixes across thread counts.
+//
+// SINGLE-WRITER DISCIPLINE: this cache MUTATES ON READ — lookup() sets
+// the clock ref bit and bumps the stats counters — so it is not merely
+// "not thread-safe for writes": two concurrent lookups already race. A
+// NodeCache is confined to one logical owner at a time, like the Device
+// it fronts. Sequential ownership hand-off (e.g. cluster lanes running
+// one after another, or exec workers that never overlap on one tree) is
+// fine; simultaneous entry from two threads is a bug. Concurrent serve
+// readers therefore get PRIVATE per-context caches (src/serve), never a
+// reference to the tree's. Debug builds enforce this with an entry flag:
+// any overlapping access fails a PMO_CHECK instead of racing silently.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "pmoctree/node.hpp"
+
+#ifndef NDEBUG
+#define PMO_NODE_CACHE_GUARD ConcurrencyGuard guard_(busy_)
+#else
+#define PMO_NODE_CACHE_GUARD \
+  do {                       \
+  } while (false)
+#endif
 
 namespace pmo::pmoctree {
 
@@ -54,6 +75,7 @@ class NodeCache {
   /// the current `epoch`; nullptr otherwise. A stale-stamp entry counts
   /// as a miss (it is dead weight awaiting overwrite, not an eviction).
   const PNode* lookup(std::uint64_t offset, std::uint32_t epoch) {
+    PMO_NODE_CACHE_GUARD;
     const auto it = index_.find(offset);
     if (it == index_.end() || slots_[it->second].stamp != epoch) {
       ++stats_.misses;
@@ -68,6 +90,7 @@ class NodeCache {
   /// Installs (or refreshes) the node for `offset`, stamped with `epoch`.
   /// Returns true when a live entry was evicted to make room.
   bool insert(std::uint64_t offset, const PNode& node, std::uint32_t epoch) {
+    PMO_NODE_CACHE_GUARD;
     if (slots_.empty()) return false;
     if (const auto it = index_.find(offset); it != index_.end()) {
       Entry& e = slots_[it->second];
@@ -96,6 +119,7 @@ class NodeCache {
   /// Write-through: refreshes the entry if (and only if) present. Writes
   /// do not admit nodes — the cache stays a read-path structure.
   void update(std::uint64_t offset, const PNode& node, std::uint32_t epoch) {
+    PMO_NODE_CACHE_GUARD;
     const auto it = index_.find(offset);
     if (it == index_.end()) return;
     Entry& e = slots_[it->second];
@@ -107,6 +131,7 @@ class NodeCache {
   /// reallocated within the same epoch, so the stamp cannot protect it).
   /// Returns true when an entry was actually dropped.
   bool invalidate(std::uint64_t offset) {
+    PMO_NODE_CACHE_GUARD;
     const auto it = index_.find(offset);
     if (it == index_.end()) return false;
     slots_[it->second].live = false;
@@ -124,6 +149,7 @@ class NodeCache {
   /// pruned subtree), so dropping it would only manufacture cold misses.
   /// Returns the number of entries carried over.
   std::size_t restamp(std::uint32_t from, std::uint32_t to) {
+    PMO_NODE_CACHE_GUARD;
     std::size_t carried = 0;
     for (Entry& e : slots_) {
       if (e.live && e.stamp == from) {
@@ -137,6 +163,7 @@ class NodeCache {
   /// Drops everything (GC sweep / pm_delete: many offsets freed at once).
   /// Returns the number of entries dropped.
   std::size_t clear() {
+    PMO_NODE_CACHE_GUARD;
     const std::size_t dropped = index_.size();
     stats_.invalidations += dropped;
     index_.clear();
@@ -156,6 +183,38 @@ class NodeCache {
     bool referenced = false;
     bool live = false;
   };
+
+#ifndef NDEBUG
+  /// Debug detector for the single-writer discipline: counts threads
+  /// currently inside a cache entry point and fails loudly on overlap.
+  /// An atomic flag — not a thread-id check — because sequential
+  /// ownership hand-off between threads is legal; only simultaneous
+  /// entry is not. Wrapped so the (non-movable) atomic does not delete
+  /// NodeCache's moves: a moved cache starts with a fresh, idle flag.
+  struct BusyFlag {
+    std::atomic<int> entries{0};
+    BusyFlag() = default;
+    BusyFlag(const BusyFlag&) noexcept {}
+    BusyFlag& operator=(const BusyFlag&) noexcept { return *this; }
+    BusyFlag(BusyFlag&&) noexcept {}
+    BusyFlag& operator=(BusyFlag&&) noexcept { return *this; }
+  };
+  struct ConcurrencyGuard {
+    explicit ConcurrencyGuard(BusyFlag& f) : f_(f) {
+      PMO_CHECK_MSG(
+          f_.entries.fetch_add(1, std::memory_order_acq_rel) == 0,
+          "NodeCache accessed from two threads at once — the cache "
+          "mutates on read (clock ref bits); give each concurrent "
+          "reader its own cache (see src/serve) instead of sharing "
+          "the tree's");
+    }
+    ~ConcurrencyGuard() {
+      f_.entries.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    BusyFlag& f_;
+  };
+  mutable BusyFlag busy_;
+#endif
 
   std::size_t claim_slot() {
     // Clock sweep: clear ref bits until an unreferenced slot comes up.

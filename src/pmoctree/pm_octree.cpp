@@ -49,6 +49,9 @@ PmOctree::PmOctree(nvbm::Heap& heap, PmConfig config)
   tm_.cursor_lca_reuse = &reg.counter("pmoctree.cursor.lca_reuse");
   tm_.persist_visits = &reg.counter("pmoctree.persist.visits");
   tm_.persist_pruned = &reg.counter("pmoctree.persist.pruned_subtrees");
+  registry_ = std::make_shared<SnapshotRegistry>();
+  registry_->set_counters(&reg.counter("pmoctree.snapshot.pins"),
+                          &reg.counter("pmoctree.snapshot.unpins"));
 }
 
 PmOctree PmOctree::create(nvbm::Heap& heap, PmConfig config) {
@@ -106,6 +109,11 @@ PmOctree PmOctree::restore(nvbm::Heap& heap, PmConfig config) {
   // root swap — keeps nodes_total available without a traversal.
   tree.logical_nodes_ =
       static_cast<std::size_t>(heap.root(kNodeCountSlot));
+  // The restored version is durable by definition: publish it so readers
+  // can pin it before the first post-recovery persist.
+  tree.registry_->publish(root_off,
+                          static_cast<std::uint32_t>(heap.root(kEpochSlot)),
+                          tree.logical_nodes_);
   // Depth is re-learned lazily; seed it from the persisted root's subtree
   // on first stats() call. Keep 0 here to stay O(1).
   return tree;
@@ -526,10 +534,11 @@ void PmOctree::for_each_leaf(
   });
 }
 
-void PmOctree::for_each_leaf_prev(
+void PmOctree::for_each_leaf_from(
+    NodeRef root,
     const std::function<void(const LocCode&, const CellData&)>& fn) {
-  if (prev_root_.null()) return;
-  std::vector<NodeRef> stack{prev_root_};
+  if (root.null()) return;
+  std::vector<NodeRef> stack{root};
   while (!stack.empty()) {
     const NodeRef ref = stack.back();
     stack.pop_back();
@@ -540,6 +549,19 @@ void PmOctree::for_each_leaf_prev(
       if (!c.null()) stack.push_back(c);
     }
   }
+}
+
+void PmOctree::for_each_leaf_prev(
+    const std::function<void(const LocCode&, const CellData&)>& fn) {
+  for_each_leaf_from(prev_root_, fn);
+}
+
+void PmOctree::for_each_leaf_snapshot(
+    const SnapshotHandle& snap,
+    const std::function<void(const LocCode&, const CellData&)>& fn) {
+  PMO_CHECK_MSG(snap.valid(),
+                "for_each_leaf_snapshot: released or empty handle");
+  for_each_leaf_from(NodeRef::nvbm(snap.root_offset()), fn);
 }
 
 void PmOctree::for_each_leaf_mut(
@@ -689,10 +711,18 @@ std::size_t PmOctree::free_subtree(NodeRef ref, bool tombstone_shared) {
   for (int i = 0; i < kChildrenPerNode; ++i)
     n += free_subtree(node.child_ref(i), /*tombstone_shared=*/false);
   if (tombstone_shared && !node.deleted()) {
-    node.flags |= kNodeDeleted;
     touch_heat(node.code, 1.0);
-    nv_store_partial(ref.nvbm_offset(), offsetof(PNode, flags),
-                     sizeof(node.flags), node);
+    if (registry_->pin_count() != 0) {
+      // Epoch-based reclamation: a pinned reader may be traversing this
+      // shared node right now, so the kNodeDeleted flip must not be
+      // written under it. Defer the mark; it is drained by the next
+      // pin-free persist and subsumed entirely by gc().
+      deferred_tombstones_.push_back(ref.nvbm_offset());
+    } else {
+      node.flags |= kNodeDeleted;
+      nv_store_partial(ref.nvbm_offset(), offsetof(PNode, flags),
+                       sizeof(node.flags), node);
+    }
   }
   return n;
 }
@@ -1438,33 +1468,26 @@ PersistStats PmOctree::persist() {
 
   // 3. Tombstone octants that existed only in the superseded version.
   //    When GC runs right away it reclaims them directly, so the explicit
-  //    marking pass is only needed for deferred collection.
-  if (!config_.gc_on_persist && !old_prev.null() &&
-      !(old_prev == new_prev)) {
-    std::unordered_set<std::uint64_t> in_new;
-    collect_reachable_nvbm(new_prev, in_new);
-    std::vector<NodeRef> stack{old_prev};
-    while (!stack.empty()) {
-      const NodeRef ref = stack.back();
-      stack.pop_back();
-      if (in_new.count(ref.nvbm_offset()) != 0) continue;
-      PNode node = nv_load(ref.nvbm_offset());
-      if (!node.deleted()) {
-        node.flags |= kNodeDeleted;
-        nv_store_partial(ref.nvbm_offset(), offsetof(PNode, flags),
-                         sizeof(node.flags), node);
-        ++stats.tombstoned;
-      }
-      for (int i = 0; i < kChildrenPerNode; ++i) {
-        const NodeRef c = node.child_ref(i);
-        if (!c.null() && in_new.count(c.nvbm_offset()) == 0)
-          stack.push_back(c);
-      }
+  //    marking pass is only needed for deferred collection. Epoch-based
+  //    reclamation: while ANY snapshot pin is live the marking is
+  //    deferred — flipping kNodeDeleted writes into bytes a pinned
+  //    reader may be memcpy-ing concurrently. The superseded root is
+  //    retired instead and the whole backlog drains at the next pin-free
+  //    persist (gc() subsumes it by reachability).
+  if (!config_.gc_on_persist) {
+    if (!old_prev.null() && !(old_prev == new_prev)) {
+      retired_roots_.emplace_back(epoch_, old_prev);
+    }
+    if (registry_->pin_count() == 0) {
+      stats.tombstoned += process_deferred_tombstones(new_prev);
     }
   }
 
   prev_root_ = new_prev;
   ++epoch_;
+  // The sealed version is durable: publish it to the pin registry so
+  // readers can pin it from any thread.
+  registry_->publish(new_prev.nvbm_offset(), epoch_ - 1, logical_nodes_);
   // Every cached node now belongs to the just-sealed epoch and is still
   // byte-correct (the cache is write-through and frees invalidate their
   // offsets eagerly), so carry the whole cache across the bump instead of
@@ -1549,10 +1572,69 @@ void PmOctree::collect_reachable_nvbm(
   }
 }
 
+std::size_t PmOctree::process_deferred_tombstones(NodeRef new_prev) {
+  if (retired_roots_.empty() && deferred_tombstones_.empty()) return 0;
+  std::size_t marked = 0;
+  std::unordered_set<std::uint64_t> in_new;
+  collect_reachable_nvbm(new_prev, in_new);
+  const auto mark = [&](std::uint64_t off, PNode& node) {
+    if (node.deleted()) return;
+    node.flags |= kNodeDeleted;
+    nv_store_partial(off, offsetof(PNode, flags), sizeof(node.flags), node);
+    ++marked;
+  };
+  for (const auto& [sealed_epoch, root] : retired_roots_) {
+    (void)sealed_epoch;
+    std::vector<NodeRef> stack{root};
+    while (!stack.empty()) {
+      const NodeRef ref = stack.back();
+      stack.pop_back();
+      if (in_new.count(ref.nvbm_offset()) != 0) continue;
+      PNode node = nv_load(ref.nvbm_offset());
+      mark(ref.nvbm_offset(), node);
+      for (int i = 0; i < kChildrenPerNode; ++i) {
+        const NodeRef c = node.child_ref(i);
+        if (!c.null() && in_new.count(c.nvbm_offset()) == 0)
+          stack.push_back(c);
+      }
+    }
+  }
+  retired_roots_.clear();
+  // Individually deferred shared-subtree removals. The offsets are still
+  // valid: only gc() frees shared nodes, and gc() clears this list.
+  for (const std::uint64_t off : deferred_tombstones_) {
+    if (in_new.count(off) != 0) continue;  // never mark a live octant
+    PNode node = nv_load(off);
+    mark(off, node);
+  }
+  deferred_tombstones_.clear();
+  return marked;
+}
+
 std::size_t PmOctree::gc() {
   std::unordered_set<std::uint64_t> live;
   collect_reachable_nvbm(prev_root_, live);
   collect_reachable_nvbm(cur_root_, live);
+  // Epoch-based reclamation: every version a reader still pins stays
+  // fully live. Whatever survives *only* because of a pin is the
+  // deferred-reclamation set (the serve bench's high-water metric).
+  const auto pinned = registry_->pinned_roots();
+  if (!pinned.empty()) {
+    const std::size_t base = live.size();
+    for (const auto& [epoch, root] : pinned) {
+      (void)epoch;
+      collect_reachable_nvbm(NodeRef::nvbm(root), live);
+    }
+    deferred_nodes_ = live.size() - base;
+  } else {
+    deferred_nodes_ = 0;
+  }
+  if (deferred_nodes_ > deferred_hwm_) deferred_hwm_ = deferred_nodes_;
+  // Reachability subsumes tombstone marking: everything the deferred
+  // lists point at is either reclaimed by this sweep or still reachable
+  // from a root (and a later gc picks it up once it no longer is).
+  retired_roots_.clear();
+  deferred_tombstones_.clear();
   // The sweep frees offsets behind the node accessor's back and the heap
   // may hand them out again within this epoch — invalidate exactly the
   // swept offsets so the surviving working set keeps its hit rate across
@@ -1572,7 +1654,22 @@ std::size_t PmOctree::gc() {
   return freed;
 }
 
+SnapshotHandle PmOctree::pin_snapshot() {
+  SnapshotRegistry::Pinned pin;
+  PMO_CHECK_MSG(registry_->pin_latest(pin),
+                "pin_snapshot: no persisted version to pin (run persist() "
+                "or restore() first)");
+  return SnapshotHandle(registry_, &device(), pin);
+}
+
 void PmOctree::destroy() {
+  PMO_CHECK_MSG(registry_->pin_count() == 0,
+                "pm_delete with live snapshot pins — release every "
+                "SnapshotHandle before destroying the tree");
+  registry_->publish(0, 0, 0);
+  retired_roots_.clear();
+  deferred_tombstones_.clear();
+  deferred_nodes_ = 0;
   tm_.cache_invalidations->add(cache_.clear());
   cursors_.clear();
   ++structure_version_;

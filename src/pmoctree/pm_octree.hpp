@@ -32,6 +32,7 @@
 #include "pmoctree/config.hpp"
 #include "pmoctree/node.hpp"
 #include "pmoctree/node_cache.hpp"
+#include "pmoctree/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pmo::exec {
@@ -135,8 +136,16 @@ class PmOctree {
   void for_each_node_ex(
       const std::function<void(const LocCode&, const CellData&, bool leaf,
                                bool in_dram)>& fn);
-  /// Read-only traversal of the persisted version V_{i-1}.
+  /// Read-only traversal of the persisted version V_{i-1}. Sugar for the
+  /// snapshot overload against the latest durable epoch.
   void for_each_leaf_prev(
+      const std::function<void(const LocCode&, const CellData&)>& fn);
+  /// Read-only traversal of an explicitly pinned persisted version —
+  /// for_each_leaf_prev generalized beyond the implicit latest V_{i-1}.
+  /// Owner-thread only (charged through the tree's nv_load path);
+  /// concurrent readers use the src/serve engine instead.
+  void for_each_leaf_snapshot(
+      const SnapshotHandle& snap,
       const std::function<void(const LocCode&, const CellData&)>& fn);
 
   std::size_t node_count();
@@ -180,8 +189,46 @@ class PmOctree {
   PersistStats persist();
 
   /// Mark-and-sweep garbage collection: frees every NVBM node unreachable
-  /// from both roots. Returns the number of octants reclaimed.
+  /// from both roots AND from every pinned snapshot (epoch-based
+  /// reclamation — see snapshot.hpp). Returns the number of octants
+  /// reclaimed.
   std::size_t gc();
+
+  // ---- snapshot pinning & epoch-based reclamation --------------------------
+
+  /// Pins the latest durable version (the epoch sealed by the last
+  /// persist()) and returns a refcounted handle onto it. While any handle
+  /// on an epoch lives, every node reachable from that version keeps its
+  /// bytes: gc() treats the pinned root as live, and tombstone marking
+  /// (persist step 3, shared-subtree removal) is deferred so the mutator
+  /// never writes into bytes a pinned reader may be reading. Pinning and
+  /// releasing are safe from any thread; everything else on this class
+  /// stays owner-thread-only. Requires has_prev_version().
+  SnapshotHandle pin_snapshot();
+  /// Distinct epochs currently pinned.
+  std::size_t pinned_epochs() const noexcept {
+    return registry_->pin_count();
+  }
+  /// Nodes the last gc() kept alive solely because a pinned snapshot
+  /// could still reach them (0 when nothing is pinned).
+  std::size_t deferred_reclaim_nodes() const noexcept {
+    return deferred_nodes_;
+  }
+  /// Lifetime high-water mark of deferred_reclaim_nodes().
+  std::size_t deferred_reclaim_high_water() const noexcept {
+    return deferred_hwm_;
+  }
+  /// Lifetime pin / unpin totals (mirrored to pmoctree.snapshot.*).
+  std::uint64_t snapshot_pins() const { return registry_->pins_taken(); }
+  std::uint64_t snapshot_unpins() const {
+    return registry_->pins_released();
+  }
+  /// Epoch of the latest durable (pinnable) version; 0 when nothing has
+  /// been persisted yet. Unlike epoch(), safe from any thread — serve
+  /// readers poll it to measure snapshot staleness.
+  std::uint32_t snapshot_published_epoch() const {
+    return registry_->published().epoch;
+  }
 
   /// Attaches (or detaches, with nullptr) an exec pool for the persist
   /// merge. The pool is borrowed, never owned; thread count changes
@@ -408,6 +455,15 @@ class PmOctree {
   NodeRef dramify(NodeRef ref, std::size_t* moved, std::size_t node_limit);
   void collect_reachable_nvbm(NodeRef root,
                               std::unordered_set<std::uint64_t>& out);
+  /// Shared DFS behind for_each_leaf_prev / for_each_leaf_snapshot.
+  void for_each_leaf_from(
+      NodeRef root,
+      const std::function<void(const LocCode&, const CellData&)>& fn);
+  /// Runs the deferred tombstone work (retired superseded roots plus
+  /// individual shared-subtree removals) once the pin set is empty.
+  /// Returns the number of octants marked. `new_prev` is the version the
+  /// marking must never touch.
+  std::size_t process_deferred_tombstones(NodeRef new_prev);
   /// Returns the number of logical octants removed from V_i (tombstoned
   /// shared subtrees are counted recursively without being freed).
   std::size_t free_subtree(NodeRef ref, bool tombstone_shared);
@@ -456,6 +512,20 @@ class PmOctree {
 
   NodeRef cur_root_;
   NodeRef prev_root_;
+  /// Pin table shared with every SnapshotHandle (shared_ptr so handles
+  /// survive tree moves). The ONLY tree state reader threads may touch.
+  std::shared_ptr<SnapshotRegistry> registry_;
+  /// Superseded roots whose tombstone pass was deferred because snapshot
+  /// pins were live at persist time: (epoch that sealed them, root).
+  /// Drained by the next pin-free persist; cleared by gc() (reachability
+  /// subsumes tombstone marking).
+  std::vector<std::pair<std::uint32_t, NodeRef>> retired_roots_;
+  /// Shared-node tombstones deferred by remove()/coarsen() while pins
+  /// were live. Offsets stay valid until the next gc(), which clears the
+  /// list — only gc() ever frees shared nodes.
+  std::vector<std::uint64_t> deferred_tombstones_;
+  std::size_t deferred_nodes_ = 0;  ///< kept alive only by pins, last gc
+  std::size_t deferred_hwm_ = 0;
   std::uint32_t epoch_ = 1;
   int depth_ = 0;
   /// Logical octant count of V_i, maintained incrementally by every
