@@ -2,21 +2,38 @@
 //
 // Every bench binary mirrors its console table into a JSON document so the
 // figure reproductions leave a parseable perf trajectory behind
-// (BENCH_*.json in EXPERIMENTS.md). Schema, stable at schema_version 1:
+// (BENCH_*.json in EXPERIMENTS.md). Schema, stable at schema_version 2:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench":  "fig07_breakdown",          // binary name
 //     "title":  "Figure 7: ...",            // console header line
 //     "scale":  1.0,                        // PMOCTREE_BENCH_SCALE
+//     "telemetry_enabled": 1,               // 0 under PMO_TELEMETRY=OFF
+//     "determinism": { "modeled_exact": 1 },// benchdiff exact-match rules
 //     "device": { "dram_read_ns": 60, ... } // Table 2 model parameters
 //     "config": { "threads": 8 },           // wall-clock-only knobs
 //     "table":  { "headers": [...], "rows": [[".."], ...] },  // the
 //                 // console table, cell-for-cell (display strings)
 //     "metrics": { "counters": {...}, "gauges": {...},
 //                  "histograms": {...} },   // final telemetry snapshot
+//     "timeseries": { "ticks": N, "series": {...} },  // MetricSampler
 //     ...                                   // bench-specific extras (set())
 //   }
+//
+// schema 2 adds the MetricSampler: every report owns one, armed on the
+// constructing (driver) thread with a default series set (NVBM line
+// traffic, node-cache hit rate, persists); benches add their own with
+// sampler().add(). Library sampling points (droplet step end, persist)
+// tick it via timeseries::tick_point(); write() always takes one final
+// tick so even fan-out benches get an end-state point. `--timeseries
+// <path>` additionally exports the block as a standalone JSON file.
+//
+// "determinism.modeled_exact" is the bench's own promise to
+// tools/benchdiff: 1 means modeled counters / nvbm gauges / modeled
+// series are bit-identical run-to-run (every fig bench), 0 means only
+// explicitly deterministic extras are (bench_serve, whose pin timing
+// legitimately moves reclamation counters).
 //
 // Path defaults to bench_<name>.json in the working directory; `--json
 // <path>` overrides. validate_bench_json (the bench_smoke ctest target)
@@ -31,6 +48,7 @@
 
 #include "bench_common.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace pmo::bench {
 
@@ -54,6 +72,9 @@ class BenchReport {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
       if (std::string(argv[i]) == "--trace") trace_path_ = argv[i + 1];
+      if (std::string(argv[i]) == "--timeseries") {
+        timeseries_path_ = argv[i + 1];
+      }
       if (std::string(argv[i]) == "--threads") {
         const int v = std::atoi(argv[i + 1]);
         if (v > 0) bench_threads_override() = v;
@@ -68,11 +89,37 @@ class BenchReport {
       trace_ = std::make_unique<telemetry::trace::TraceSession>();
       telemetry::trace::name_process(0, "bench " + name_);
     }
+    // Default series every bench records: the paper's headline NVBM
+    // traffic trajectory, the node-cache warm-up curve, and the persist
+    // cadence. All modeled — sampled only at deterministic tick points.
+    sampler_.add({"nvbm.lines_read", telemetry::timeseries::Kind::kGauge,
+                  "nvbm.lines_read", "", 0.0, /*modeled=*/true});
+    sampler_.add({"nvbm.lines_written", telemetry::timeseries::Kind::kGauge,
+                  "nvbm.lines_written", "", 0.0, /*modeled=*/true});
+    sampler_.add({"pmoctree.cache.hit_rate",
+                  telemetry::timeseries::Kind::kRatio,
+                  "pmoctree.cache.hits", "pmoctree.cache.misses", 0.0,
+                  /*modeled=*/true});
+    sampler_.add({"pmoctree.persists", telemetry::timeseries::Kind::kCounter,
+                  "pmoctree.persists", "", 0.0, /*modeled=*/true});
+    // The constructing thread is the driver for library tick points.
+    sampler_.install_on_current_thread();
   }
 
   const std::string& json_path() const noexcept { return path_; }
   const std::string& trace_path() const noexcept { return trace_path_; }
   bool tracing() const noexcept { return trace_ != nullptr; }
+
+  /// The report's metric sampler: benches add series and (for paced
+  /// loops) tick it explicitly; library tick points drive it otherwise.
+  telemetry::timeseries::MetricSampler& sampler() noexcept {
+    return sampler_;
+  }
+
+  /// Benches whose modeled counters legitimately vary run-to-run
+  /// (bench_serve: reclamation depends on reader pin timing) opt out of
+  /// benchdiff's exact-match rules here.
+  void set_modeled_exact(bool v) noexcept { modeled_exact_ = v; }
 
   /// Prints the Table 2 banner (same as print_table2_header) so benches
   /// declare their title exactly once.
@@ -100,10 +147,14 @@ class BenchReport {
   telemetry::json::Value to_json() const {
     namespace json = telemetry::json;
     json::Value root = json::Value::object();
-    root["schema_version"] = 1;
+    root["schema_version"] = 2;
     root["bench"] = name_;
     root["title"] = title_;
     root["scale"] = bench_scale();
+    root["telemetry_enabled"] = telemetry::enabled() ? 1 : 0;
+    json::Value det = json::Value::object();
+    det["modeled_exact"] = modeled_exact_ ? 1 : 0;
+    root["determinism"] = std::move(det);
     const nvbm::Config c = device_config();
     json::Value dev = json::Value::object();
     dev["dram_read_ns"] = c.dram_read_ns;
@@ -146,6 +197,7 @@ class BenchReport {
     root["table"] = std::move(table);
     root["metrics"] =
         telemetry::to_json(telemetry::Registry::global().snapshot());
+    root["timeseries"] = sampler_.to_json();
     // Wear heatmaps of every device the bench created (live or already
     // destroyed — Sections freeze their last value). Always present so
     // the schema validator can rely on the key.
@@ -158,6 +210,9 @@ class BenchReport {
   /// session and writes the Chrome trace JSON). Returns false (with a
   /// message on stderr) when a file cannot be written.
   bool write() {
+    // Final sample: every bench gets at least its end-state point even
+    // when no library tick point fired (pool fan-out benches).
+    if (telemetry::enabled()) sampler_.tick();
     std::ofstream out(path_);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
@@ -165,6 +220,13 @@ class BenchReport {
     }
     out << to_json().dump() << "\n";
     std::printf("\njson: %s\n", path_.c_str());
+    if (!timeseries_path_.empty()) {
+      if (!sampler_.write_file(timeseries_path_)) return false;
+      std::printf("timeseries: %s (%llu ticks, %zu series)\n",
+                  timeseries_path_.c_str(),
+                  static_cast<unsigned long long>(sampler_.ticks()),
+                  sampler_.series_count());
+    }
     if (trace_ != nullptr) {
       if (!trace_->write_file(trace_path_)) return false;
       std::printf("trace: %s (%zu events, %llu dropped)\n",
@@ -180,6 +242,10 @@ class BenchReport {
   std::string title_;
   std::string path_;
   std::string trace_path_;
+  std::string timeseries_path_;
+  bool modeled_exact_ = true;
+  telemetry::timeseries::MetricSampler sampler_{
+      telemetry::Registry::global(), {}};
   std::unique_ptr<telemetry::trace::TraceSession> trace_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

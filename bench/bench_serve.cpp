@@ -14,6 +14,14 @@
 //    modeled serve charges from this sweep are pure functions of the
 //    persisted image, bit-identical for --threads 1 and --threads 8
 //    (the determinism contract; fig06-style JSON comparison applies).
+//
+// Observability (PR 7): the report's MetricSampler is ticked explicitly
+// by the mutator once per step (library tick points are suppressed
+// inside pool tasks), recording QPS, interpolated p99, reclamation HWM,
+// staleness and pin-count trajectories. A SloTracker watches every
+// query against a latency objective (`--slo <ns>`, default 200us p99),
+// publishes burn-rate/budget gauges, and tail-samples slow queries as
+// retroactive trace slices on the owning reader lane's track.
 #include "bench_report.hpp"
 
 #include <atomic>
@@ -22,6 +30,8 @@
 #include <thread>
 
 #include "serve/reader.hpp"
+#include "serve/slo.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace pmo;
 using namespace pmo::bench;
@@ -29,9 +39,16 @@ using namespace pmo::bench;
 namespace {
 
 /// Trace tracks: the mutator and every reader lane get distinct pids so
-/// the exported trace shows serving concurrency as separate rows.
-constexpr std::uint32_t kMutatorPid = 1900;
-constexpr std::uint32_t kReaderPidBase = 2000;
+/// the exported trace shows serving concurrency as separate rows. The
+/// values live in trace.hpp so the SLO tracker's tail-sampled slices
+/// land on the same lane tracks (layout contract checked by trace_test).
+constexpr std::uint32_t kMutatorPid = telemetry::trace::kServeMutatorPid;
+constexpr std::uint32_t kReaderPidBase =
+    telemetry::trace::kServeReaderPidBase;
+
+/// issue_query's seq % 4 rotation, for SLO slow-query labeling.
+constexpr const char* kQueryKind[4] = {"point", "box", "neighbors",
+                                       "interface"};
 
 /// splitmix64: the lane-local deterministic query stream generator.
 std::uint64_t next_u64(std::uint64_t& s) {
@@ -140,14 +157,22 @@ int main(int argc, char** argv) {
       argc, argv);
   int readers = 4;
   double target_qps = 2000.0;
+  std::uint64_t slo_ns = 200'000;  // p99 objective: 200 us
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--readers") readers = std::atoi(argv[i + 1]);
     if (std::string(argv[i]) == "--qps") target_qps = std::atof(argv[i + 1]);
+    if (std::string(argv[i]) == "--slo") {
+      slo_ns = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
   }
   readers = std::max(1, readers);
   target_qps = std::max(1.0, target_qps);
+  slo_ns = std::max<std::uint64_t>(1, slo_ns);
   report.print_header();
   telemetry::trace::name_current_thread("bench");
+  // Live-phase numbers (latency, staleness, reclamation) are wall-clock
+  // racy by design — tell benchdiff not to exact-match modeled counters.
+  report.set_modeled_exact(false);
 
   const double scale = bench_scale();
   const int steps = std::max(3, static_cast<int>(40 * std::min(1.0, scale)));
@@ -173,6 +198,44 @@ int main(int argc, char** argv) {
   exec::ThreadPool pool(bench_threads());
   amr::PmOctreeBackend& backend = *bundle.pm;
 
+  // Serving-side observability: pins and the reclamation high-water mark
+  // as pull-mode gauges (refreshed by every sampler tick / snapshot),
+  // staleness as a push gauge written by readers at pin time.
+  auto& reg = telemetry::Registry::global();
+  telemetry::Gauge& stale_gauge = reg.gauge("serve.staleness");
+  telemetry::Registry::Source serve_src = reg.register_source(
+      [&backend](telemetry::Registry& r) {
+        r.gauge("serve.pins").set(
+            static_cast<double>(backend.tree().snapshot_pins()));
+        r.gauge("serve.reclaim_hwm").set(static_cast<double>(
+            backend.tree().deferred_reclaim_high_water()));
+      },
+      [&reg] {
+        reg.drop_gauges("serve.pins");
+        reg.drop_gauges("serve.reclaim_hwm");
+        reg.drop_gauges("serve.staleness");
+      });
+
+  // Serving time-series, sampled once per mutator step (explicit ticks:
+  // library tick points are suppressed inside pool tasks). All
+  // wall-clock-coupled, hence modeled=false.
+  using telemetry::timeseries::Kind;
+  auto& sampler = report.sampler();
+  sampler.add({"serve.qps", Kind::kRate, "serve.query_ns", "", 0.0, false});
+  sampler.add(
+      {"serve.p99_ns", Kind::kPercentile, "serve.query_ns", "", 0.99, false});
+  sampler.add(
+      {"serve.reclaim_hwm", Kind::kGauge, "serve.reclaim_hwm", "", 0.0, false});
+  sampler.add(
+      {"serve.staleness", Kind::kGauge, "serve.staleness", "", 0.0, false});
+  sampler.add({"serve.pins", Kind::kGauge, "serve.pins", "", 0.0, false});
+
+  serve::SloConfig slo_cfg;
+  slo_cfg.latency_objective_ns = slo_ns;
+  serve::SloTracker slo(reg, slo_cfg);
+  sampler.add({"serve.slo.budget_remaining", Kind::kGauge,
+               "serve.slo.budget_remaining", "", 0.0, false});
+
   // ---- LIVE phase: task 0 mutates+persists, tasks 1..R serve ---------------
   std::atomic<bool> done{false};
   std::vector<LaneStats> lanes(static_cast<std::size_t>(readers));
@@ -191,6 +254,11 @@ int main(int argc, char** argv) {
       telemetry::trace::begin("serve.mutate_step");
       wl.step(*bundle.mesh, s, /*persist=*/true);
       telemetry::trace::end("serve.mutate_step");
+      // One SLO window + one time-series sample per mutator step. Ticks
+      // run only here (single-driver contract); Device counters are
+      // mutator-written, so sampling them from this thread is race-free.
+      slo.tick();
+      report.sampler().tick();
     }
     done.store(true, std::memory_order_release);
   });
@@ -217,6 +285,7 @@ int main(int argc, char** argv) {
         st.stale_max = std::max(st.stale_max, stale);
         st.stale_sum += stale;
         ++st.pins;
+        stale_gauge.set(static_cast<double>(stale));
         reader.rebind(std::move(snap));
         telemetry::trace::begin("serve.batch");
         for (int q = 0; q < batch; ++q) {
@@ -224,6 +293,8 @@ int main(int argc, char** argv) {
           if (next > now) std::this_thread::sleep_until(next);
           next = std::max(next + interval,
                           std::chrono::steady_clock::now());
+          const serve::ReadCharges before = reader.charges();
+          const std::uint64_t ts0 = telemetry::trace::now_ns();
           const auto t0 = std::chrono::steady_clock::now();
           issue_query(reader, rng, st.queries, nullptr);
           const std::uint64_t ns = static_cast<std::uint64_t>(
@@ -232,6 +303,14 @@ int main(int argc, char** argv) {
                   .count());
           st.latency.record(ns);
           global_lat.record(ns);
+          const serve::ReadCharges after = reader.charges();
+          serve::ReadCharges d;
+          d.node_loads = after.node_loads - before.node_loads;
+          d.cached_loads = after.cached_loads - before.cached_loads;
+          d.lines_read = after.lines_read - before.lines_read;
+          d.modeled_ns = after.modeled_ns - before.modeled_ns;
+          slo.observe(static_cast<std::uint32_t>(lane),
+                      kQueryKind[st.queries % 4], ts0, ns, d, stale);
           ++st.queries;
         }
         telemetry::trace::end("serve.batch");
@@ -261,9 +340,9 @@ int main(int argc, char** argv) {
                      : 0.0;
     report.row({std::to_string(lane), std::to_string(st.queries),
                 TablePrinter::num(st.queries / live_s, 0),
-                TablePrinter::num(st.latency.percentile_bound(0.50) / 1e3, 1),
-                TablePrinter::num(st.latency.percentile_bound(0.95) / 1e3, 1),
-                TablePrinter::num(st.latency.percentile_bound(0.99) / 1e3, 1),
+                TablePrinter::num(st.latency.percentile(0.50) / 1e3, 1),
+                TablePrinter::num(st.latency.percentile(0.95) / 1e3, 1),
+                TablePrinter::num(st.latency.percentile(0.99) / 1e3, 1),
                 std::to_string(st.pins), std::to_string(st.stale_max),
                 TablePrinter::num(mean_stale, 2)});
   }
@@ -276,9 +355,9 @@ int main(int argc, char** argv) {
               "%.0f); latency p50/p95/p99 = %.1f/%.1f/%.1f us; staleness "
               "max %llu mean %.2f epochs; deferred-reclaim HWM %zu nodes\n",
               live_s, static_cast<unsigned long long>(total_q), qps,
-              target_qps, global_lat.percentile_bound(0.50) / 1e3,
-              global_lat.percentile_bound(0.95) / 1e3,
-              global_lat.percentile_bound(0.99) / 1e3,
+              target_qps, global_lat.percentile(0.50) / 1e3,
+              global_lat.percentile(0.95) / 1e3,
+              global_lat.percentile(0.99) / 1e3,
               static_cast<unsigned long long>(stale_max), stale_mean,
               backend.tree().deferred_reclaim_high_water());
 
@@ -323,9 +402,9 @@ int main(int argc, char** argv) {
   serve["queries"] = total_q;
   serve["qps"] = qps;
   json::Value latency = json::Value::object();
-  latency["p50_ns"] = global_lat.percentile_bound(0.50);
-  latency["p95_ns"] = global_lat.percentile_bound(0.95);
-  latency["p99_ns"] = global_lat.percentile_bound(0.99);
+  latency["p50_ns"] = global_lat.percentile(0.50);
+  latency["p95_ns"] = global_lat.percentile(0.95);
+  latency["p99_ns"] = global_lat.percentile(0.99);
   latency["mean_ns"] = global_lat.mean();
   latency["max_ns"] = global_lat.max();
   serve["latency"] = std::move(latency);
@@ -345,6 +424,16 @@ int main(int argc, char** argv) {
   vcharges["modeled_ns"] = total_charges.modeled_ns;
   serve["verify_charges"] = std::move(vcharges);
   report.set("serve", std::move(serve));
+  std::printf("slo: p%.0f objective %llu ns, %llu/%llu violations, budget "
+              "remaining %.3f, %llu tail-sampled slow queries (>= %llu ns)\n",
+              100.0 * slo_cfg.objective_quantile,
+              static_cast<unsigned long long>(slo_ns),
+              static_cast<unsigned long long>(slo.violations()),
+              static_cast<unsigned long long>(slo.total()),
+              slo.budget_remaining(),
+              static_cast<unsigned long long>(slo.tail_sampled()),
+              static_cast<unsigned long long>(slo.slow_threshold_ns()));
+  report.set("slo", slo.to_json());
   report.write();
   return 0;
 }

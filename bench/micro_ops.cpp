@@ -353,6 +353,40 @@ void BM_EtreeCoverProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_EtreeCoverProbe);
 
+void BM_SamplerTick(benchmark::State& state) {
+  // Full tick() over a representative series set — the guard number for
+  // the PR 7 overhead budget. Build with -DPMO_TELEMETRY=OFF and rerun:
+  // tick() returns immediately, so the ON/OFF delta IS the sampler cost.
+  auto& reg = telemetry::Registry::global();
+  reg.counter("micro.sampler.c").add(123);
+  reg.gauge("micro.sampler.g").set(4.5);
+  auto& h = reg.histogram("micro.sampler.h");
+  for (std::uint64_t i = 1; i <= 4096; ++i) h.record(i);
+  telemetry::timeseries::MetricSampler sampler(
+      reg, {/*capacity=*/64, /*refresh_sources=*/false});
+  using telemetry::timeseries::Kind;
+  sampler.add({"c", Kind::kCounter, "micro.sampler.c", "", 0.0, true});
+  sampler.add({"g", Kind::kGauge, "micro.sampler.g", "", 0.0, true});
+  sampler.add(
+      {"p99", Kind::kPercentile, "micro.sampler.h", "", 0.99, false});
+  sampler.add({"rate", Kind::kRate, "micro.sampler.h", "", 0.0, false});
+  for (auto _ : state) {
+    sampler.tick();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamplerTick);
+
+void BM_SamplerTickPointUninstalled(benchmark::State& state) {
+  // The library sampling point with no sampler installed: the tax every
+  // droplet step / persist pays unconditionally. One relaxed atomic load
+  // when telemetry is on; fully compiled out under PMO_TELEMETRY=OFF.
+  for (auto _ : state) {
+    telemetry::timeseries::tick_point();
+  }
+}
+BENCHMARK(BM_SamplerTickPointUninstalled);
+
 class JsonMirrorReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonMirrorReporter(bench::BenchReport& report)
@@ -383,7 +417,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg(argv[i]);
     if ((arg == "--json" || arg == "--trace" || arg == "--threads" ||
-         arg == "--node-cache") &&
+         arg == "--node-cache" || arg == "--timeseries") &&
         i + 1 < argc) {
       ++i;  // skip the flag and its value
       continue;

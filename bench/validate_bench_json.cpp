@@ -1,5 +1,5 @@
 // bench_smoke harness: runs one bench binary with --json and validates
-// the emitted document against the BenchReport schema (schema_version 1).
+// the emitted document against the BenchReport schema (schema_version 2).
 //
 //   validate_bench_json <bench-binary> <json-path> [extra bench args...]
 //
@@ -71,11 +71,25 @@ int main(int argc, char** argv) {
   const Value* v = require(*doc, "schema_version", Value::Type::kNumber,
                            &err);
   if (v == nullptr) return fail(err);
-  if (v->as_double() != 1.0) return fail("unsupported schema_version");
+  if (v->as_double() != 2.0) return fail("unsupported schema_version");
   if (require(*doc, "bench", Value::Type::kString, &err) == nullptr ||
       require(*doc, "title", Value::Type::kString, &err) == nullptr ||
-      require(*doc, "scale", Value::Type::kNumber, &err) == nullptr) {
+      require(*doc, "scale", Value::Type::kNumber, &err) == nullptr ||
+      require(*doc, "telemetry_enabled", Value::Type::kNumber, &err) ==
+          nullptr) {
     return fail(err);
+  }
+  const bool telemetry_on =
+      doc->find("telemetry_enabled")->as_double() != 0.0;
+
+  // schema 2: the bench's determinism promise, read by tools/benchdiff to
+  // pick exact-match vs noise-thresholded comparison rules.
+  const Value* det =
+      require(*doc, "determinism", Value::Type::kObject, &err);
+  if (det == nullptr) return fail(err);
+  if (require(*det, "modeled_exact", Value::Type::kNumber, &err) ==
+      nullptr) {
+    return fail("determinism: " + err);
   }
 
   const Value* dev = require(*doc, "device", Value::Type::kObject, &err);
@@ -130,6 +144,48 @@ int main(int argc, char** argv) {
     if (require(*metrics, key, Value::Type::kObject, &err) == nullptr) {
       return fail("metrics: " + err);
     }
+  }
+
+  // schema 2: the MetricSampler block. Always present; under
+  // PMO_TELEMETRY=OFF recording is compiled out, so series arrays are
+  // only required to be non-empty when telemetry is on (BenchReport
+  // takes a final tick in write(), so every series has >= 1 point).
+  const Value* ts = require(*doc, "timeseries", Value::Type::kObject, &err);
+  if (ts == nullptr) return fail(err);
+  if (require(*ts, "ticks", Value::Type::kNumber, &err) == nullptr ||
+      require(*ts, "capacity", Value::Type::kNumber, &err) == nullptr) {
+    return fail("timeseries: " + err);
+  }
+  const Value* series =
+      require(*ts, "series", Value::Type::kObject, &err);
+  if (series == nullptr) return fail("timeseries: " + err);
+  for (const auto& [name, s] : series->members()) {
+    if (!s.is_object()) return fail("timeseries.series." + name);
+    for (const char* key : {"kind", "metric"}) {
+      if (s.find(key) == nullptr || !s.find(key)->is_string()) {
+        return fail("timeseries.series." + name + " missing \"" + key +
+                    "\"");
+      }
+    }
+    for (const char* key : {"modeled", "stride"}) {
+      if (s.find(key) == nullptr || !s.find(key)->is_number()) {
+        return fail("timeseries.series." + name + " missing \"" + key +
+                    "\"");
+      }
+    }
+    const Value* t = s.find("t");
+    const Value* val = s.find("v");
+    if (t == nullptr || !t->is_array() || val == nullptr ||
+        !val->is_array() || t->size() != val->size()) {
+      return fail("timeseries.series." + name + ": t/v arrays mismatch");
+    }
+    if (telemetry_on && t->size() == 0) {
+      return fail("timeseries.series." + name +
+                  " is empty with telemetry enabled");
+    }
+  }
+  if (telemetry_on && ts->find("ticks")->as_double() < 1.0) {
+    return fail("timeseries.ticks is 0 with telemetry enabled");
   }
 
   // Benches that exercised a PM-octree (any pmoctree.* counter present)
@@ -192,6 +248,43 @@ int main(int argc, char** argv) {
     }
     if (metrics->find("histograms")->find("serve.query_ns") == nullptr) {
       return fail("metrics.histograms missing \"serve.query_ns\"");
+    }
+    // schema 2: the serving bench must record the QPS / interpolated-p99
+    // / reclamation-HWM trajectories (the headline time-series) ...
+    for (const char* key :
+         {"serve.qps", "serve.p99_ns", "serve.reclaim_hwm"}) {
+      const Value* s = series->find(key);
+      if (s == nullptr) {
+        return fail("timeseries.series missing \"" + std::string(key) +
+                    "\"");
+      }
+      if (telemetry_on && s->find("t")->size() == 0) {
+        return fail("timeseries.series." + std::string(key) + " is empty");
+      }
+    }
+    // ... and the SLO roll-up: objective, error-budget accounting and the
+    // tail-sampled slow-query log.
+    const Value* slo = require(*doc, "slo", Value::Type::kObject, &err);
+    if (slo == nullptr) return fail(err);
+    for (const char* key : {"total", "violations", "violation_fraction",
+                            "budget_remaining", "burn_rate", "p_ns",
+                            "tail_sampled"}) {
+      if (require(*slo, key, Value::Type::kNumber, &err) == nullptr) {
+        return fail("slo: " + err);
+      }
+    }
+    const Value* obj =
+        require(*slo, "objective", Value::Type::kObject, &err);
+    if (obj == nullptr) return fail("slo: " + err);
+    for (const char* key :
+         {"quantile", "latency_ns", "error_budget", "slow_query_ns"}) {
+      if (require(*obj, key, Value::Type::kNumber, &err) == nullptr) {
+        return fail("slo.objective: " + err);
+      }
+    }
+    if (require(*slo, "slow_queries", Value::Type::kArray, &err) ==
+        nullptr) {
+      return fail("slo: " + err);
     }
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace pmo::amr {
 
@@ -262,6 +263,10 @@ StepStats DropletWorkload::step(MeshBackend& mesh, int step_index,
   reg.counter("amr.refined").add(out.refined);
   reg.counter("amr.coarsened").add(out.coarsened);
   reg.counter("amr.balance_refined").add(out.balance_refined);
+
+  // Library sampling point: one time-series tick per completed step
+  // (driver-thread gated; a no-op unless a MetricSampler is installed).
+  telemetry::timeseries::tick_point();
 
   time_ = t_new;
   return out;

@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "exec/pool.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pmo::pmoctree {
@@ -1549,6 +1550,9 @@ PersistStats PmOctree::persist() {
        {"evictions", static_cast<double>(cache_.stats().evictions)},
        {"invalidations", static_cast<double>(cache_.stats().invalidations)},
        {"cursor_reuse", static_cast<double>(cursor_reuse_)}});
+  // Library sampling point: a persist is the natural epoch boundary for
+  // metric time-series (driver-thread gated; no-op without a sampler).
+  telemetry::timeseries::tick_point();
   return stats;
 }
 

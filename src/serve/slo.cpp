@@ -1,0 +1,169 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+
+#include "telemetry/trace.hpp"
+
+namespace pmo::serve {
+
+SloTracker::SloTracker(telemetry::Registry& reg, SloConfig cfg)
+    : reg_(reg), cfg_(std::move(cfg)) {
+  budget_ = cfg_.error_budget > 0.0 ? cfg_.error_budget
+                                    : 1.0 - cfg_.objective_quantile;
+  if (budget_ <= 0.0) budget_ = 0.01;
+  slow_ns_ = cfg_.slow_query_ns != 0 ? cfg_.slow_query_ns
+                                     : 4 * cfg_.latency_objective_ns;
+  violations_counter_ = &reg_.counter(cfg_.metric_prefix + ".violations");
+  budget_gauge_ = &reg_.gauge(cfg_.metric_prefix + ".budget_remaining");
+  burn_gauge_ = &reg_.gauge(cfg_.metric_prefix + ".burn_rate");
+  p_gauge_ = &reg_.gauge(cfg_.metric_prefix + ".p_ns");
+  budget_gauge_->set(1.0);
+}
+
+void SloTracker::observe(std::uint32_t lane, std::string_view kind,
+                         std::uint64_t begin_session_ns,
+                         std::uint64_t dur_ns, const ReadCharges& charges,
+                         std::uint64_t staleness) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (dur_ns > cfg_.latency_objective_ns) {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+    violations_counter_->add(1);
+  }
+  if (dur_ns < slow_ns_) return;
+
+  tail_sampled_.fetch_add(1, std::memory_order_relaxed);
+  namespace trace = telemetry::trace;
+  if (trace::active()) {
+    // Retroactive tail sample: the slice pair lands on the READER
+    // LANE's track with the timestamps captured around the query, so it
+    // nests inside the lane's serve.batch span. Charge breakdown rides
+    // as args on the begin event (Chrome merges B/E args per slice).
+    const std::string name = "serve.slow." + std::string(kind);
+    trace::TraceEvent b;
+    b.type = trace::EventType::kBegin;
+    b.pid = trace::kServeReaderPidBase + lane;
+    b.tid = 0;
+    b.ts_ns = begin_session_ns;
+    b.name = name;
+    b.cat = "slo";
+    b.args = {{"dur_ns", static_cast<double>(dur_ns)},
+              {"node_loads", static_cast<double>(charges.node_loads)},
+              {"cached_loads", static_cast<double>(charges.cached_loads)},
+              {"lines_read", static_cast<double>(charges.lines_read)},
+              {"modeled_ns", static_cast<double>(charges.modeled_ns)},
+              {"staleness", static_cast<double>(staleness)}};
+    trace::emit(std::move(b));
+    trace::TraceEvent e;
+    e.type = trace::EventType::kEnd;
+    e.pid = trace::kServeReaderPidBase + lane;
+    e.tid = 0;
+    e.ts_ns = begin_session_ns + dur_ns;
+    e.name = name;
+    e.cat = "slo";
+    trace::emit(std::move(e));
+  }
+
+  if (cfg_.slow_log_capacity == 0) return;
+  SlowQuery q;
+  q.begin_ns = begin_session_ns;
+  q.dur_ns = dur_ns;
+  q.staleness = staleness;
+  q.lane = lane;
+  q.kind = std::string(kind);
+  q.charges = charges;
+  std::lock_guard lk(slow_mu_);
+  // Keep-the-worst, ascending by duration: slow_[0] is the cheapest
+  // retained entry and the eviction victim.
+  const auto pos = std::lower_bound(
+      slow_.begin(), slow_.end(), q.dur_ns,
+      [](const SlowQuery& a, std::uint64_t d) { return a.dur_ns < d; });
+  if (slow_.size() < cfg_.slow_log_capacity) {
+    slow_.insert(pos, std::move(q));
+  } else if (pos != slow_.begin()) {
+    slow_.erase(slow_.begin());
+    // pos may have shifted by the erase; recompute.
+    const auto p2 = std::lower_bound(
+        slow_.begin(), slow_.end(), q.dur_ns,
+        [](const SlowQuery& a, std::uint64_t d) { return a.dur_ns < d; });
+    slow_.insert(p2, std::move(q));
+  }
+}
+
+double SloTracker::budget_remaining() const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 1.0;
+  const double frac =
+      static_cast<double>(violations()) / static_cast<double>(n);
+  return 1.0 - frac / budget_;
+}
+
+void SloTracker::tick() {
+  ++ticks_;
+  const std::uint64_t n = total();
+  const std::uint64_t v = violations();
+  const std::uint64_t dn = n - prev_total_;
+  const std::uint64_t dv = v - prev_violations_;
+  prev_total_ = n;
+  prev_violations_ = v;
+  // Burn rate of this window: violating fraction relative to the
+  // budget. 1.0 = spending exactly at the allowed rate.
+  burn_rate_ = dn == 0 ? 0.0
+                       : (static_cast<double>(dv) /
+                          static_cast<double>(dn)) /
+                             budget_;
+  burn_gauge_->set(burn_rate_);
+  budget_gauge_->set(budget_remaining());
+  // Re-read the latency histogram and republish the interpolated
+  // objective quantile — the number the objective is phrased against.
+  last_p_ns_ = reg_.histogram(cfg_.latency_metric)
+                   .percentile(cfg_.objective_quantile);
+  p_gauge_->set(static_cast<double>(last_p_ns_));
+}
+
+std::vector<SlowQuery> SloTracker::slow_queries() const {
+  std::lock_guard lk(slow_mu_);
+  std::vector<SlowQuery> out(slow_.rbegin(), slow_.rend());  // worst first
+  return out;
+}
+
+telemetry::json::Value SloTracker::to_json() const {
+  namespace json = telemetry::json;
+  auto root = json::Value::object();
+  auto obj = json::Value::object();
+  obj["quantile"] = cfg_.objective_quantile;
+  obj["latency_ns"] = cfg_.latency_objective_ns;
+  obj["error_budget"] = budget_;
+  obj["slow_query_ns"] = slow_ns_;
+  root["objective"] = std::move(obj);
+  const std::uint64_t n = total();
+  const std::uint64_t v = violations();
+  root["total"] = n;
+  root["violations"] = v;
+  root["violation_fraction"] =
+      n == 0 ? 0.0 : static_cast<double>(v) / static_cast<double>(n);
+  root["budget_remaining"] = budget_remaining();
+  root["burn_rate"] = burn_rate_;
+  root["p_ns"] = last_p_ns_;
+  root["ticks"] = ticks_;
+  root["tail_sampled"] = tail_sampled();
+  auto slow = json::Value::array();
+  for (const SlowQuery& q : slow_queries()) {
+    auto one = json::Value::object();
+    one["lane"] = q.lane;
+    one["kind"] = q.kind;
+    one["begin_ns"] = q.begin_ns;
+    one["dur_ns"] = q.dur_ns;
+    one["staleness"] = q.staleness;
+    auto ch = json::Value::object();
+    ch["node_loads"] = q.charges.node_loads;
+    ch["cached_loads"] = q.charges.cached_loads;
+    ch["lines_read"] = q.charges.lines_read;
+    ch["modeled_ns"] = q.charges.modeled_ns;
+    one["charges"] = std::move(ch);
+    slow.push_back(std::move(one));
+  }
+  root["slow_queries"] = std::move(slow);
+  return root;
+}
+
+}  // namespace pmo::serve

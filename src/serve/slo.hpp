@@ -1,0 +1,156 @@
+// Serving SLO tracker: latency objectives, error-budget accounting, and
+// tail-based slow-query trace sampling for the src/serve read path.
+//
+// The SLO formulation is the standard one: an objective "p99 <= N us"
+// is equivalently "at most 1% of queries may exceed N us", and that
+// allowed fraction is the ERROR BUDGET. observe() classifies every
+// query against the latency objective; tick() (called from the pacing
+// loop, once per mutator step in bench_serve) turns the running totals
+// into a windowed burn rate — how fast the budget is being spent right
+// now, 1.0 = exactly at budget — and publishes the
+// serve.slo.{violations,budget_remaining,burn_rate} counter/gauge trio
+// so the MetricSampler can record SLO trajectories like any other
+// metric. tick() also reads the serve.query_ns log2 histogram back from
+// the registry and republishes its *interpolated* objective quantile
+// (serve.slo.p_ns) — the quantity the objective is written against.
+//
+// Tail-based sampling: most queries are cheap and tracing every one
+// would swamp the ring buffers, but the outliers are exactly what a
+// latency investigation needs. Queries over the slow-query threshold
+// retroactively emit a begin/end slice pair on the READER LANE's trace
+// track (trace::kServeReaderPidBase + lane) with the query's modeled
+// charge breakdown as args — the timestamps were captured around the
+// query, so the slice lands inside the lane's serve.batch span and the
+// exported trace explains every outlier while staying small. A bounded
+// keep-the-worst log of the same queries is exported in to_json() for
+// JSON-only runs.
+//
+// Thread-safety: observe() is called concurrently from every reader
+// lane (atomics + a mutex-guarded slow log); tick() has a single-caller
+// contract (the pacing/mutator thread); to_json() is for after the
+// lanes quiesce but locks defensively.
+//
+// Under PMO_TELEMETRY=OFF the registry publishes and trace emission
+// compile to no-ops, but classification keeps working — durations come
+// from the caller's clock, so the slo JSON block stays populated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/reader.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pmo::serve {
+
+struct SloConfig {
+  /// The latency objective: at most `error_budget` of queries may take
+  /// longer than this.
+  std::uint64_t latency_objective_ns = 200'000;  // 200 us
+  /// Quantile the objective is phrased against (reporting only).
+  double objective_quantile = 0.99;
+  /// Allowed violating fraction; 0 derives 1 - objective_quantile.
+  double error_budget = 0.0;
+  /// Tail-sampling threshold: queries at or over this duration emit
+  /// trace events and enter the slow log. 0 derives 4x the objective.
+  std::uint64_t slow_query_ns = 0;
+  /// Keep-the-worst slow log size (0 disables the log, not the trace
+  /// sampling).
+  std::size_t slow_log_capacity = 32;
+  /// Histogram the objective quantile is re-read from at tick().
+  std::string latency_metric = "serve.query_ns";
+  /// Prefix for the published counter/gauges.
+  std::string metric_prefix = "serve.slo";
+};
+
+/// One tail-sampled query, as retained by the slow log.
+struct SlowQuery {
+  std::uint64_t begin_ns = 0;  ///< session-relative (trace::now_ns)
+  std::uint64_t dur_ns = 0;
+  std::uint64_t staleness = 0;  ///< epochs behind durable head at pin
+  std::uint32_t lane = 0;
+  std::string kind;  ///< point | box | neighbors | interface
+  ReadCharges charges;  ///< this query's charge delta
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(telemetry::Registry& reg, SloConfig cfg = {});
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Classifies one finished query. `begin_session_ns` is
+  /// trace::now_ns() captured before the query (0 is fine when no trace
+  /// session is active); `charges` is the query's own charge delta.
+  /// Emits the retroactive trace slice on the lane's pid when the query
+  /// is slow and a trace session is recording.
+  void observe(std::uint32_t lane, std::string_view kind,
+               std::uint64_t begin_session_ns, std::uint64_t dur_ns,
+               const ReadCharges& charges, std::uint64_t staleness);
+
+  /// Windowed roll-up: burn rate over the queries observed since the
+  /// last tick, cumulative budget remaining, republished gauges, and
+  /// the interpolated objective quantile re-read from the latency
+  /// histogram. Single-caller contract (the pacing loop).
+  void tick();
+
+  // ---- accessors (tests / bench table) -------------------------------------
+  std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t violations() const noexcept {
+    return violations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tail_sampled() const noexcept {
+    return tail_sampled_.load(std::memory_order_relaxed);
+  }
+  /// 1 - (violation fraction / budget); 1 = untouched budget, 0 =
+  /// exhausted, negative = blown.
+  double budget_remaining() const noexcept;
+  /// Burn rate of the last tick() window (1.0 = spending exactly at
+  /// budget).
+  double burn_rate() const noexcept { return burn_rate_; }
+  double error_budget() const noexcept { return budget_; }
+  std::uint64_t slow_threshold_ns() const noexcept { return slow_ns_; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+
+  /// Retained slow queries, worst first.
+  std::vector<SlowQuery> slow_queries() const;
+
+  /// {objective: {...}, total, violations, violation_fraction,
+  ///  budget_remaining, burn_rate, p_ns, ticks, tail_sampled,
+  ///  slow_queries: [...]}.
+  telemetry::json::Value to_json() const;
+
+ private:
+  telemetry::Registry& reg_;
+  SloConfig cfg_;
+  double budget_;          ///< resolved error budget (fraction)
+  std::uint64_t slow_ns_;  ///< resolved tail-sampling threshold
+
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> tail_sampled_{0};
+
+  // tick()-only state (single caller).
+  std::uint64_t ticks_ = 0;
+  std::uint64_t prev_total_ = 0;
+  std::uint64_t prev_violations_ = 0;
+  double burn_rate_ = 0.0;
+  std::uint64_t last_p_ns_ = 0;
+
+  telemetry::Counter* violations_counter_;
+  telemetry::Gauge* budget_gauge_;
+  telemetry::Gauge* burn_gauge_;
+  telemetry::Gauge* p_gauge_;
+
+  mutable std::mutex slow_mu_;
+  std::vector<SlowQuery> slow_;  ///< keep-the-worst, ascending by dur
+};
+
+}  // namespace pmo::serve

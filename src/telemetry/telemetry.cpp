@@ -1,7 +1,9 @@
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 
 #include "common/stats.hpp"
@@ -30,7 +32,11 @@ thread_local std::string t_span_path;
 
 void Histogram::record(std::uint64_t v) noexcept {
 #if PMO_TELEMETRY_ENABLED
-  const int b = v == 0 ? 0 : std::bit_width(v);
+  // bit_width(v) is 64 for v >= 2^63; fold those into the last bucket
+  // instead of indexing past the array.
+  const int b =
+      v == 0 ? 0
+             : std::min(static_cast<int>(std::bit_width(v)), kBuckets - 1);
   buckets_[b].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
@@ -74,6 +80,63 @@ std::uint64_t Histogram::percentile_bound(double p) const noexcept {
       return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
   }
   return max();
+}
+
+namespace {
+
+/// Shared by Histogram::percentile and HistogramView::percentile. Walks
+/// the (bucket, count) list to the bucket holding the p-rank, then
+/// interpolates: log2 bucket b >= 1 holds `cnt` samples somewhere in
+/// [2^(b-1), 2^b); assuming they are evenly spaced, the k-th (1-based)
+/// of them sits at lo + (k-1) * width / cnt. That is exact when the
+/// bucket is filled by consecutive integers (uniform distributions) and
+/// within half a step otherwise; the clamp to [min, max] keeps the
+/// estimate inside the observed range at both tails.
+std::uint64_t interpolated_percentile(
+    const std::vector<std::pair<int, std::uint64_t>>& buckets,
+    std::uint64_t n, std::uint64_t mn, std::uint64_t mx, double p) noexcept {
+  if (n == 0) return 0;
+  p = std::min(1.0, std::max(0.0, p));
+  const auto rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (const auto& [b, cnt] : buckets) {
+    if (cnt == 0) continue;
+    if (seen + cnt < rank) {
+      seen += cnt;
+      continue;
+    }
+    if (b == 0) return std::max<std::uint64_t>(mn, 0);
+    const double lo = std::ldexp(1.0, b - 1);
+    const double width = lo;  // bucket b spans [2^(b-1), 2^b)
+    const std::uint64_t k = rank - seen;  // 1-based rank inside bucket
+    double v = lo + static_cast<double>(k - 1) * width /
+                        static_cast<double>(cnt);
+    const double dmn = static_cast<double>(mn);
+    const double dmx = static_cast<double>(mx);
+    if (v < dmn) v = dmn;
+    if (v > dmx) v = dmx;
+    // Doubles stop resolving integers near 2^63; saturate to max()
+    // instead of overflowing the cast.
+    if (v >= 9.2e18) return mx;
+    return static_cast<std::uint64_t>(std::llround(v));
+  }
+  return mx;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    const auto n = bucket_count(b);
+    if (n != 0) buckets.emplace_back(b, n);
+  }
+  return interpolated_percentile(buckets, count(), min(), max(), p);
+}
+
+std::uint64_t HistogramView::percentile(double p) const noexcept {
+  return interpolated_percentile(buckets, count, min, max, p);
 }
 
 // ---------------------------------------------------------------------------

@@ -111,6 +111,13 @@ class Histogram {
   /// p-quantile, 0<=p<=1. Approximate by construction; exact min/max
   /// come from min()/max().
   std::uint64_t percentile_bound(double p) const noexcept;
+  /// Interpolated p-quantile, 0<=p<=1: locates the bucket holding the
+  /// rank like percentile_bound, then places the rank linearly inside
+  /// the bucket's [2^(b-1), 2^b) value range, clamped to the recorded
+  /// [min, max]. Exact for distributions that fill their buckets with
+  /// consecutive integers (e.g. uniform); never quantizes the tail to a
+  /// power of two the way percentile_bound does.
+  std::uint64_t percentile(double p) const noexcept;
 
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
@@ -132,6 +139,9 @@ struct HistogramView {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+  /// Same interpolated estimate as Histogram::percentile, over the
+  /// snapshotted bucket list.
+  std::uint64_t percentile(double p) const noexcept;
 };
 
 /// Point-in-time copy of every metric in a registry. Snapshots subtract

@@ -48,6 +48,15 @@ namespace pmo::telemetry::trace {
 inline constexpr std::uint32_t kTraceRankPidBase = 1000;
 /// One process-wide track for the recovery audit log.
 inline constexpr std::uint32_t kRecoveryAuditPid = 900;
+/// Serving tracks (bench_serve and the serve SLO tracker's tail-sampled
+/// slow-query events): the mutator gets its own process row, reader lane
+/// L renders as kServeReaderPidBase + L. Layout contract, checked by
+/// trace_test: audit (900) < rank base (1000) <= ranks < mutator (1900)
+/// < reader base (2000) <= lanes — serving and cluster tracks are never
+/// recorded into the same trace, but the bases still keep practically
+/// traced fleets (up to 900 ranks, any lane count) collision-free.
+inline constexpr std::uint32_t kServeMutatorPid = 1900;
+inline constexpr std::uint32_t kServeReaderPidBase = 2000;
 /// Default per-thread ring capacity (events).
 inline constexpr std::size_t kDefaultBufferCapacity = std::size_t{1} << 18;
 

@@ -6,6 +6,7 @@
 // in the tree must compile and do nothing, with no reference to
 // recording-only state.
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 #include <gtest/gtest.h>
@@ -72,6 +73,41 @@ TEST(TelemetryOff, TraceEmittersAreInertAndSessionExportsEmpty) {
   const auto check = trace::validate_chrome_trace(*doc);
   EXPECT_TRUE(check.ok) << check.error;
   EXPECT_EQ(check.events, 0u);
+}
+
+TEST(TelemetryOff, SamplerRecordsNothingButKeepsSchemaShape) {
+  namespace ts = timeseries;
+  Registry reg;
+  ts::MetricSampler sampler(reg, {16, false});
+  sampler.add({"c", ts::Kind::kCounter, "t.c", "", 0.0, true});
+  sampler.add({"qps", ts::Kind::kRate, "t.lat", "", 0.0, false});
+  reg.counter("t.c").add(5);
+  sampler.tick();
+  sampler.tick();
+  EXPECT_EQ(sampler.ticks(), 0u);  // tick() compiles to a no-op
+
+  // install/tick_point are inert: the hook never fires and the
+  // installed-sampler slot stays empty.
+  sampler.install_on_current_thread();
+  ts::tick_point();
+  EXPECT_EQ(sampler.ticks(), 0u);
+  EXPECT_EQ(ts::MetricSampler::installed(), nullptr);
+  ts::MetricSampler::uninstall();
+
+  // to_json still emits every registered series (with empty point
+  // arrays) so bench JSON stays schema-valid with recording off.
+  const auto dump = sampler.to_json();
+  EXPECT_EQ(dump.find("ticks")->as_double(), 0.0);
+  const auto* series = dump.find("series");
+  ASSERT_NE(series, nullptr);
+  const auto* c = series->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->find("kind")->as_string(), "counter");
+  EXPECT_EQ(c->find("t")->size(), 0u);
+  EXPECT_EQ(c->find("v")->size(), 0u);
+  const auto* q = series->find("qps");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->find("modeled")->as_double(), 0.0);
 }
 
 TEST(TelemetryOff, SectionsStillExport) {

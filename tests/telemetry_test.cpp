@@ -76,6 +76,76 @@ TEST(Histogram, PercentileBounds) {
   EXPECT_EQ(h.percentile_bound(1.0), (std::uint64_t{1} << 21) - 1);
 }
 
+TEST(Histogram, InterpolatedPercentileExactOnUniformFill) {
+  // Consecutive integers fill every log2 bucket uniformly, which is the
+  // case the within-bucket interpolation is exact for: rank r must come
+  // back as the value r itself, not the bucket's upper bound.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 65536; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.50), 32768u);
+  EXPECT_EQ(h.percentile(0.95), 62259u);  // rank 62259 of 1..65536
+  EXPECT_EQ(h.percentile(0.99), 64880u);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.percentile(1.0), 65536u);
+}
+
+TEST(Histogram, InterpolatedPercentileSmallSet) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  // rank = floor(p * (n-1)) + 1: p50 of 10 samples is rank 5 -> value 5.
+  EXPECT_EQ(h.percentile(0.5), 5u);
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  // The within-bucket estimate for the top bucket {8, 9, 10} overshoots;
+  // the clamp pins the tail to the observed max.
+  EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, InterpolatedPercentileClampsToObservedRange) {
+  // A single repeated value sits mid-bucket; every percentile must
+  // return that value, not an interpolated neighbor.
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.record(1000);
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(p), 1000u) << p;
+  }
+}
+
+TEST(Histogram, InterpolatedPercentileExtremes) {
+  Histogram e;
+  EXPECT_EQ(e.percentile(0.9), 0u);  // empty histogram
+  Histogram z;
+  z.record(0);
+  EXPECT_EQ(z.percentile(0.5), 0u);  // bucket 0 is the literal value 0
+  // A lone 2^63: the estimate starts at the top bucket's floor (2^62),
+  // the [min, max] clamp lifts it to the observed value, and the
+  // double->u64 saturation guard returns max() instead of overflowing.
+  Histogram m;
+  m.record(std::uint64_t{1} << 63);
+  EXPECT_EQ(m.percentile(1.0), std::uint64_t{1} << 63);
+  // With min pinned at 0 the clamp stays out of the way and the top
+  // bucket's floor (2^62 — bucket 63 holds everything >= 2^62) is the
+  // honest evenly-spaced estimate. No overflow, no crash.
+  Histogram h;
+  h.record(0);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.percentile(1.0), std::uint64_t{1} << 62);
+}
+
+TEST(Histogram, InterpolatedPercentileStaysInObservedRange) {
+  // The interpolated estimate may round past percentile_bound()'s
+  // inclusive bucket bound (1 + 89/99 rounds to 2), but it can never
+  // leave the observed [min, max] envelope.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(1 << 20);
+  for (double p : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(p), h.min()) << p;
+    EXPECT_LE(h.percentile(p), h.max()) << p;
+  }
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(1.0), std::uint64_t{1} << 20);
+}
+
 TEST(Registry, FindOrCreateIsStable) {
   Registry reg;
   Counter& a = reg.counter("x.y");

@@ -58,6 +58,30 @@ TEST(EventBuffer, WraparoundDropsOldestFirst) {
   }
 }
 
+// ---- track/pid layout contract --------------------------------------------
+
+// The pid bases partition the exported timeline into non-overlapping
+// process rows: recovery audit (900) < cluster rank base (1000) <=
+// ranks < serve mutator (1900) < serve reader base (2000) <= lanes.
+// Serving and cluster tracks never share a trace, but the bases must
+// still keep every practically traced fleet collision-free — tools
+// (trace2summary, Perfetto groupings) key on these constants.
+TEST(TrackLayout, PidBasesNeverCollide) {
+  EXPECT_LT(kRecoveryAuditPid, kTraceRankPidBase);
+  EXPECT_LT(kTraceRankPidBase, kServeMutatorPid);
+  EXPECT_LT(kServeMutatorPid, kServeReaderPidBase);
+  // Up to 900 simulated ranks fit under the mutator row.
+  const std::uint32_t kMaxRanks = kServeMutatorPid - kTraceRankPidBase;
+  EXPECT_GE(kMaxRanks, 900u);
+  EXPECT_LT(kTraceRankPidBase + kMaxRanks - 1, kServeMutatorPid);
+  // The audit row never aliases a rank, the mutator, or a lane.
+  EXPECT_LT(kRecoveryAuditPid, kTraceRankPidBase);
+  // Reader lanes are open-ended upward: lane L's pid is above every
+  // other base for all L >= 0.
+  EXPECT_GT(kServeReaderPidBase + 0, kServeMutatorPid);
+  EXPECT_GT(kServeReaderPidBase + 0, kTraceRankPidBase + kMaxRanks - 1);
+}
+
 // ---- sections (compiled in both modes) ------------------------------------
 
 TEST(Sections, FreezeOnDestroyAndClear) {

@@ -16,6 +16,9 @@
 //                        can_restore -> restore chain)
 //   --require-tracks N   fail unless >= N distinct (pid, tid) tracks
 //                        (fig03 must separate compute from persist)
+//   --require-cat NAME   fail unless >= 1 event carries category NAME
+//                        (serve smoke asserts "slo": the SLO tracker's
+//                        tail-sampled slow-query slices made it out)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +40,7 @@ int fail(const std::string& msg) {
 int main(int argc, char** argv) {
   bool require_audit = false;
   std::size_t require_tracks = 0;
+  std::string require_cat;
   std::string bench;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -45,6 +49,8 @@ int main(int argc, char** argv) {
       require_audit = true;
     } else if (arg == "--require-tracks" && i + 1 < argc) {
       require_tracks = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--require-cat" && i + 1 < argc) {
+      require_cat = argv[++i];
     } else if (arg == "--run" && i + 1 < argc) {
       bench = argv[++i];
     } else {
@@ -97,6 +103,23 @@ int main(int argc, char** argv) {
   if (check.tracks < require_tracks) {
     return fail("trace holds " + std::to_string(check.tracks) +
                 " tracks, expected >= " + std::to_string(require_tracks));
+  }
+  if (!require_cat.empty()) {
+    std::size_t n = 0;
+    const auto* events = doc->find("traceEvents");
+    if (events != nullptr && events->is_array()) {
+      for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto* cat = events->at(i).find("cat");
+        if (cat != nullptr && cat->is_string() &&
+            cat->as_string() == require_cat) {
+          ++n;
+        }
+      }
+    }
+    std::printf("category \"%s\": %zu events\n", require_cat.c_str(), n);
+    if (n == 0) {
+      return fail("trace holds no \"" + require_cat + "\" events");
+    }
   }
   std::printf("ok\n");
   return 0;
