@@ -47,6 +47,38 @@ bool morton_bmi2_enabled() noexcept {
 #endif
 }
 
+void morton_encode3_batch(const std::uint32_t* x, const std::uint32_t* y,
+                          const std::uint32_t* z, std::uint64_t* out,
+                          std::size_t n) noexcept {
+#if defined(__BMI2__)
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = _pdep_u64(x[i], kAxisMaskX) | _pdep_u64(y[i], kAxisMaskY) |
+             _pdep_u64(z[i], kAxisMaskZ);
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) out[i] = morton_encode3(x[i], y[i], z[i]);
+#endif
+}
+
+void morton_decode3_batch(const std::uint64_t* codes, std::uint32_t* x,
+                          std::uint32_t* y, std::uint32_t* z,
+                          std::size_t n) noexcept {
+#if defined(__BMI2__)
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::uint32_t>(_pext_u64(codes[i], kAxisMaskX));
+    y[i] = static_cast<std::uint32_t>(_pext_u64(codes[i], kAxisMaskY));
+    z[i] = static_cast<std::uint32_t>(_pext_u64(codes[i], kAxisMaskZ));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = morton_decode3(codes[i]);
+    x[i] = c[0];
+    y[i] = c[1];
+    z[i] = c[2];
+  }
+#endif
+}
+
 const std::array<std::array<int, 3>, kNeighborCount>&
 LocCode::neighbor_directions() noexcept {
   static const auto dirs = [] {

@@ -1,0 +1,127 @@
+#include "pmoctree/linear_tier.hpp"
+
+#include <algorithm>
+
+namespace pmo::pmoctree::linear {
+
+void Builder::write(nvbm::Device& dev, std::uint64_t chain,
+                    std::uint32_t epoch) const {
+  PMO_CHECK_MSG(!recs_.empty(), "cannot write an empty chain");
+  PMO_CHECK_MSG(recs_.size() <= kMaxChainRecords,
+                "chain exceeds the NodeRef record-index width");
+  const std::uint32_t npages = pages_for(recs_.size());
+  std::vector<std::byte> page(kPageBytes);
+  for (std::uint32_t p = 0; p < npages; ++p) {
+    std::fill(page.begin(), page.end(), std::byte{0});
+    const std::size_t first = std::size_t{p} * kPageSlots;
+    const std::size_t count =
+        std::min<std::size_t>(kPageSlots, recs_.size() - first);
+    PageHeader h;
+    h.count = static_cast<std::uint32_t>(count);
+    h.epoch = epoch;
+    h.npages = npages;
+    h.total_records = static_cast<std::uint32_t>(recs_.size());
+    std::memcpy(page.data(), &h, sizeof(h));
+    for (std::size_t s = 0; s < count; ++s) {
+      const Record& r = recs_[first + s];
+      std::memcpy(page.data() + kKeysOff + s * 8, &r.bkey, 8);
+      std::memcpy(page.data() + kSkipOff + s * 4, &r.skip, 4);
+      std::memcpy(page.data() + kMaskOff + s, &r.mask, 1);
+      std::memcpy(page.data() + kDataOff + s * sizeof(CellData), &r.data,
+                  sizeof(CellData));
+    }
+    dev.write(chain + std::uint64_t{p} * kPageBytes, page.data(), kPageBytes);
+  }
+}
+
+std::uint32_t ChainView::locate(const LocCode& target) const {
+  std::uint32_t r = 0;
+  for (;;) {
+    const LocCode rc = code(r);
+    PMO_DCHECK(rc.contains(target) || rc == target);
+    if (rc.level() >= target.level()) return r;
+    const std::uint8_t m = mask(r);
+    if (m == 0) return r;  // leaf covering target
+    const int j = target.ancestor_at(rc.level() + 1).child_index();
+    if ((m & (1u << j)) == 0) return r;  // partial sibling group
+    std::uint32_t c = r + 1;
+    for (int s = 0; s < j; ++s)
+      if ((m & (1u << s)) != 0) c += skip(c);
+    r = c;
+  }
+}
+
+std::int64_t ChainView::find(const LocCode& target) const {
+  // Records are in DFS pre-order = sorted by decoded (key asc, level asc).
+  const std::uint64_t want = binarize(target);
+  std::uint32_t lo = 0;
+  std::uint32_t hi = total_;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (binarized_less(bkey(mid), want))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo < total_ && bkey(lo) == want) return lo;
+  return -1;
+}
+
+bool ChainView::validate() const {
+  if (npages_ == 0 || total_ == 0) return false;
+  if (pages_for(total_) != npages_) return false;
+  std::uint32_t counted = 0;
+  for (std::uint32_t p = 0; p < npages_; ++p) {
+    const PageHeader h = header(p);
+    if (h.magic != kPageMagic || h.npages != npages_ ||
+        h.total_records != total_ || h.epoch != epoch_)
+      return false;
+    const std::uint32_t expect =
+        std::min<std::uint32_t>(kPageSlots, total_ - p * kPageSlots);
+    if (h.count != expect) return false;
+    counted += h.count;
+  }
+  if (counted != total_) return false;
+  // Root record must span the whole chain; every skip must stay in range.
+  if (skip(0) != total_) return false;
+  for (std::uint32_t r = 0; r < total_; ++r) {
+    const std::uint32_t s = skip(r);
+    if (s == 0 || r + s > total_) return false;
+    if (bkey(r) == 0) return false;
+    if (r > 0 && !binarized_less(bkey(r - 1), bkey(r))) return false;
+  }
+  return true;
+}
+
+void batch_locate(const ChainView& view, const LocCode* targets,
+                  std::uint32_t* out, std::size_t n) {
+  // Level-synchronous lane stepping: every live lane advances one level
+  // per round, so a round's mask/skip probes walk the same SoA arrays.
+  std::vector<std::uint8_t> done(n, 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+  for (std::size_t live = n; live != 0;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      const std::uint32_t r = out[i];
+      const LocCode rc = view.code(r);
+      if (rc.level() >= targets[i].level()) {
+        done[i] = 1;
+        --live;
+        continue;
+      }
+      const std::uint8_t m = view.mask(r);
+      const int j = targets[i].ancestor_at(rc.level() + 1).child_index();
+      if (m == 0 || (m & (1u << j)) == 0) {
+        done[i] = 1;
+        --live;
+        continue;
+      }
+      std::uint32_t c = r + 1;
+      for (int s = 0; s < j; ++s)
+        if ((m & (1u << s)) != 0) c += view.skip(c);
+      out[i] = c;
+    }
+  }
+}
+
+}  // namespace pmo::pmoctree::linear

@@ -20,10 +20,15 @@ struct PNode;
 
 /// Tagged reference to a PM-octree node.
 ///
-/// Encoding: 0 is null; otherwise bit 0 distinguishes the tiers
-/// (0 = DRAM pointer, 1 = NVBM offset shifted left by one). Both DRAM
-/// pointers and heap payload offsets are at least 8-byte aligned, so bit 0
-/// is free, and offsets stay below 2^62.
+/// Encoding: 0 is null; otherwise bit 0 distinguishes pointer-tier NVBM
+/// (1 = heap offset shifted left by one) from the two low-tag-0 modes,
+/// which bit 1 splits: 0b00 = DRAM pointer (PNode* are 8-byte aligned, so
+/// the low 3 bits of a real pointer are 0), 0b10 = linear-tier record:
+/// bits [21:2] hold the record index inside a compacted chain (up to 2^20
+/// records per chain) and bits [63:22] hold the chain's heap payload
+/// offset divided by 8. (Heap payloads sit one 8-byte object header past
+/// a 16-byte-rounded block boundary, so they are 8-aligned, NOT
+/// 16-aligned — the divisor must match the guaranteed alignment.)
 class NodeRef {
  public:
   constexpr NodeRef() noexcept = default;
@@ -34,12 +39,19 @@ class NodeRef {
   static constexpr NodeRef nvbm(std::uint64_t offset) noexcept {
     return NodeRef((offset << 1) | 1u);
   }
+  /// Record `index` of the linear chain whose pages start at heap payload
+  /// offset `chain` (8-byte aligned by the heap allocator).
+  static constexpr NodeRef linear(std::uint64_t chain,
+                                  std::uint64_t index) noexcept {
+    return NodeRef(((chain >> 3) << 22) | (index << 2) | 2u);
+  }
 
   constexpr bool null() const noexcept { return bits_ == 0; }
   explicit constexpr operator bool() const noexcept { return bits_ != 0; }
   constexpr bool in_nvbm() const noexcept { return (bits_ & 1u) != 0; }
+  constexpr bool in_linear() const noexcept { return (bits_ & 3u) == 2u; }
   constexpr bool in_dram() const noexcept {
-    return bits_ != 0 && (bits_ & 1u) == 0;
+    return bits_ != 0 && (bits_ & 3u) == 0;
   }
 
   PNode* dram_ptr() const noexcept {
@@ -49,6 +61,14 @@ class NodeRef {
   constexpr std::uint64_t nvbm_offset() const noexcept {
     PMO_DCHECK(in_nvbm());
     return bits_ >> 1;
+  }
+  constexpr std::uint64_t linear_chain() const noexcept {
+    PMO_DCHECK(in_linear());
+    return (bits_ >> 22) << 3;
+  }
+  constexpr std::uint32_t linear_index() const noexcept {
+    PMO_DCHECK(in_linear());
+    return static_cast<std::uint32_t>((bits_ >> 2) & 0xfffffu);
   }
 
   /// Raw tagged bits — this exact word is what gets stored inside
@@ -85,6 +105,13 @@ enum NodeFlags : std::uint32_t {
   /// NVBM bytes — every node store to the device strips it, keeping the
   /// persisted image independent of mutation history.
   kNodeSubtreeDirty = 1u << 1,
+  /// Child-presence bitmask: bit (8 + i) is set iff child[i] is non-null.
+  /// Maintained by set_child, so is_leaf() and child iteration test one
+  /// word instead of scanning all 8 NodeRef slots. Any store that writes
+  /// a child slot back to the device must also write the flags word to
+  /// keep the durable mask coherent.
+  kNodeChildMaskShift = 8,
+  kNodeChildMask = 0xffu << kNodeChildMaskShift,
 };
 
 /// The octant record, identical layout in DRAM and NVBM so merging is a
@@ -105,15 +132,24 @@ struct PNode {
   NodeRef child_ref(int i) const noexcept {
     return NodeRef::from_bits(child[i]);
   }
-  void set_child(int i, NodeRef r) noexcept { child[i] = r.bits(); }
+  void set_child(int i, NodeRef r) noexcept {
+    child[i] = r.bits();
+    const std::uint32_t bit = 1u << (kNodeChildMaskShift + i);
+    if (r.null())
+      flags &= ~bit;
+    else
+      flags |= bit;
+  }
   NodeRef parent_ref() const noexcept { return NodeRef::from_bits(parent); }
   void set_parent(NodeRef r) noexcept { parent = r.bits(); }
 
-  bool is_leaf() const noexcept {
-    for (const auto c : child)
-      if (c != 0) return false;
-    return true;
+  std::uint8_t child_mask() const noexcept {
+    return static_cast<std::uint8_t>(flags >> kNodeChildMaskShift);
   }
+  bool has_child(int i) const noexcept {
+    return (flags & (1u << (kNodeChildMaskShift + i))) != 0;
+  }
+  bool is_leaf() const noexcept { return (flags & kNodeChildMask) == 0; }
   bool deleted() const noexcept { return (flags & kNodeDeleted) != 0; }
 };
 

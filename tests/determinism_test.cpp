@@ -160,12 +160,16 @@ struct TreeRunOutput {
   std::vector<pmoctree::PersistStats> persists;
 };
 
-TreeRunOutput run_tree(bool pruning, int threads) {
+TreeRunOutput run_tree(bool pruning, int threads, bool all_nvbm = false) {
   nvbm::Device dev(std::size_t{64} << 20, bench::device_config());
   nvbm::Heap heap(dev);
   pmoctree::PmConfig pm;
   pm.persist_pruning = pruning;
-  pm.dram_budget_bytes = std::size_t{32} << 20;
+  // all_nvbm evicts the whole working set to NVBM — the cold regime where
+  // persist-time compaction rewrites clean subtrees as linear chains, so
+  // the image compare covers packed pages and relinked parents too.
+  pm.dram_budget_bytes = all_nvbm ? 0 : std::size_t{32} << 20;
+  if (all_nvbm) pm.compact_min_records = 8;
   exec::ThreadPool pool(threads);
   auto tree = pmoctree::PmOctree::create(heap, pm);
   tree.set_exec(&pool);
@@ -197,6 +201,19 @@ TreeRunOutput run_tree(bool pruning, int threads) {
     }
     out.persists.push_back(tree.persist());
   }
+  if (all_nvbm) {
+    // Quiesce with pinpoint updates: each persist freshens one root-leaf
+    // path, exposing its old clean siblings to the compactor. Spread the
+    // touches so the bulk of the tree ends up in chains.
+    for (int r = 0; r < 4; ++r) {
+      CellData d;
+      d.vof = 0.75 + 0.01 * r;
+      tree.update(LocCode::from_grid(3, static_cast<std::uint32_t>(r * 2),
+                                     static_cast<std::uint32_t>(r * 2), 3),
+                  d);
+      out.persists.push_back(tree.persist());
+    }
+  }
 
   const std::byte* bytes = dev.raw(0, dev.capacity());
   out.image.assign(bytes, bytes + dev.capacity());
@@ -224,6 +241,10 @@ void expect_same_stats(const TreeRunOutput& a, const TreeRunOutput& b) {
         << "persist " << i;
     EXPECT_EQ(a.persists[i].nodes_total, b.persists[i].nodes_total)
         << "persist " << i;
+    EXPECT_EQ(a.persists[i].compacted_subtrees, b.persists[i].compacted_subtrees)
+        << "persist " << i;
+    EXPECT_EQ(a.persists[i].compacted_records, b.persists[i].compacted_records)
+        << "persist " << i;
   }
   EXPECT_EQ(a.dram_reads, b.dram_reads);
   EXPECT_EQ(a.dram_writes, b.dram_writes);
@@ -242,6 +263,21 @@ TEST(Determinism, PersistedImageBitIdenticalAcrossMergeThreads) {
   // Full contract across thread count: image AND every modeled counter.
   expect_same_stats(t1, t8);
   EXPECT_TRUE(t1.image == t8.image) << "NVBM image diverged across threads";
+}
+
+TEST(Determinism, CompactedImageBitIdenticalAcrossMergeThreads) {
+  // Same contract as above, in the all-NVBM regime where persist-time
+  // compaction engages: the packed chain pages, the relinked parents and
+  // every modeled counter must not depend on the merge's thread count.
+  const auto t1 = run_tree(/*pruning=*/true, /*threads=*/1, /*all_nvbm=*/true);
+  const auto t8 = run_tree(/*pruning=*/true, /*threads=*/8, /*all_nvbm=*/true);
+  // Compaction must actually have run, or this test proves nothing.
+  std::size_t compacted = 0;
+  for (const auto& s : t1.persists) compacted += s.compacted_subtrees;
+  EXPECT_GT(compacted, 0u);
+  expect_same_stats(t1, t8);
+  EXPECT_TRUE(t1.image == t8.image)
+      << "compacted NVBM image diverged across threads";
 }
 
 TEST(Determinism, PersistedImageBitIdenticalAcrossPruning) {

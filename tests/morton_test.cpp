@@ -77,6 +77,80 @@ TEST(Morton, FastPathMatchesPortableEncodeDecode) {
   }
 }
 
+// The batched kernels must be bit-identical to the scalar fast path (and
+// therefore to the constexpr reference) for every batch size around the
+// unroll seams, including n = 0 and odd tails, on both the BMI2 and
+// portable builds.
+TEST(Morton, BatchEncodeDecodeMatchesScalar) {
+  Rng rng(20260808);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}, std::size_t{63},
+                              std::size_t{64}, std::size_t{257}}) {
+    std::vector<std::uint32_t> x(n), y(n), z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<std::uint32_t>(rng.below(1u << 21));
+      y[i] = static_cast<std::uint32_t>(rng.below(1u << 21));
+      z[i] = static_cast<std::uint32_t>(rng.below(1u << 21));
+    }
+    std::vector<std::uint64_t> codes(n);
+    morton_encode3_batch(x.data(), y.data(), z.data(), codes.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(codes[i], morton_encode3(x[i], y[i], z[i])) << "n=" << n;
+    std::vector<std::uint32_t> dx(n), dy(n), dz(n);
+    morton_decode3_batch(codes.data(), dx.data(), dy.data(), dz.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dx[i], x[i]);
+      ASSERT_EQ(dy[i], y[i]);
+      ASSERT_EQ(dz[i], z[i]);
+    }
+  }
+}
+
+// Coordinate extremes at every level boundary: all-zeros, all-ones, and
+// single-axis maxima stress the interleave carry patterns the random
+// sample can miss.
+TEST(Morton, BatchHandlesLevelBoundaryExtremes) {
+  std::vector<std::uint32_t> x, y, z;
+  for (int level = 0; level <= 21; ++level) {
+    const std::uint32_t m =
+        level == 0 ? 0u : ((std::uint32_t{1} << level) - 1);
+    x.push_back(m), y.push_back(0), z.push_back(0);
+    x.push_back(0), y.push_back(m), z.push_back(0);
+    x.push_back(0), y.push_back(0), z.push_back(m);
+    x.push_back(m), y.push_back(m), z.push_back(m);
+  }
+  const std::size_t n = x.size();
+  std::vector<std::uint64_t> codes(n);
+  morton_encode3_batch(x.data(), y.data(), z.data(), codes.data(), n);
+  std::vector<std::uint32_t> dx(n), dy(n), dz(n);
+  morton_decode3_batch(codes.data(), dx.data(), dy.data(), dz.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(codes[i], morton_encode3(x[i], y[i], z[i]));
+    ASSERT_EQ(dx[i], x[i]);
+    ASSERT_EQ(dy[i], y[i]);
+    ASSERT_EQ(dz[i], z[i]);
+  }
+}
+
+// The seam itself: whichever side morton_bmi2_enabled() reports, the
+// batch output must equal the scalar *portable* reference — so a BMI2
+// binary and a portable binary produce identical persisted keys.
+TEST(Morton, BatchIsSeamIndependent) {
+  (void)morton_bmi2_enabled();  // both branches share this contract
+  Rng rng(7);
+  constexpr std::size_t n = 4096;
+  std::vector<std::uint32_t> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::uint32_t>(rng.below(1u << 21));
+    y[i] = static_cast<std::uint32_t>(rng.below(1u << 21));
+    z[i] = static_cast<std::uint32_t>(rng.below(1u << 21));
+  }
+  std::vector<std::uint64_t> codes(n);
+  morton_encode3_batch(x.data(), y.data(), z.data(), codes.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(codes[i], morton_encode3(x[i], y[i], z[i]));
+}
+
 TEST(LocCode, RootProperties) {
   const auto root = LocCode::root();
   EXPECT_EQ(root.level(), 0);

@@ -264,6 +264,66 @@ TEST(PmOctree, DestroyFreesEverything) {
   EXPECT_FALSE(PmOctree::can_restore(fx.heap));
 }
 
+TEST(PmOctree, ChildMaskMatchesSlotScanUnderRandomOps) {
+  // Differential check of the PNode::flags child-presence bitmask: after a
+  // random op mix under memory pressure (DRAM twins, CoW'd NVBM nodes and
+  // persist merges all exercised), every reachable node's cached mask must
+  // equal a scan of its child slots. The mask feeds is_leaf(), traversal
+  // and the linear-tier Builder, so a single stale bit here corrupts
+  // downstream structures silently.
+  Fixture fx;
+  fx.config.dram_budget_bytes = 24 * sizeof(PNode);
+  fx.config.compact_min_records = 8;
+  auto tree = PmOctree::create(fx.heap, fx.config);
+  Rng rng(20260808);
+  for (int s = 0; s < 120; ++s) {
+    std::vector<LocCode> leaves;
+    tree.for_each_leaf(
+        [&](const LocCode& c, const CellData&) { leaves.push_back(c); });
+    const auto& victim =
+        leaves[static_cast<std::size_t>(rng.below(leaves.size()))];
+    const auto action = rng.below(4);
+    if (action == 0 && victim.level() < 6) {
+      tree.refine(victim);
+    } else if (action == 1 && victim.level() > 0) {
+      bool all_leaves = true;
+      for (int i = 0; i < kChildrenPerNode && all_leaves; ++i) {
+        const auto sib = victim.parent().child(i);
+        all_leaves = tree.contains(sib) &&
+                     tree.leaf_containing(sib.child(0)) == sib;
+      }
+      if (all_leaves) tree.coarsen(victim.parent());
+    } else {
+      tree.update(victim, cell(rng.uniform()));
+    }
+    if (s % 40 == 39) tree.persist();
+  }
+  tree.persist();
+
+  std::size_t checked = 0;
+  std::vector<NodeRef> stack{tree.current_root(), tree.previous_root()};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    if (ref.null() || ref.in_linear()) continue;  // chains carry their own
+                                                  // masks, checked at build
+    const PNode node = ref.in_dram()
+                           ? *ref.dram_ptr()
+                           : fx.device.load<PNode>(ref.nvbm_offset());
+    std::uint8_t scan = 0;
+    for (int i = 0; i < kChildrenPerNode; ++i) {
+      const NodeRef c = node.child_ref(i);
+      if (c.null()) continue;
+      scan |= static_cast<std::uint8_t>(1u << i);
+      stack.push_back(c);
+    }
+    EXPECT_EQ(node.child_mask(), scan)
+        << "stale child mask at level " << node.code.level();
+    ++checked;
+  }
+  EXPECT_GT(checked, 16u);  // the walk really covered a non-trivial tree
+}
+
 TEST(PmOctreeApi, Table1RoundTrip) {
   Fixture fx;
   auto tree = pm_create(fx.heap);
