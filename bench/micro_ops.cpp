@@ -9,10 +9,14 @@
 // from argv before google-benchmark parses its own flags.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "amr/mesh_backend.hpp"
+#include "amr/neighbor_index.hpp"
 #include "baseline/bptree.hpp"
 #include "bench_report.hpp"
+#include "common/simd.hpp"
 #include "pmoctree/linear_tier.hpp"
 #include "serve/reader.hpp"
 
@@ -407,6 +411,130 @@ void BM_BatchLocate8(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchLocate8);
 
+// ---- solve kernels ---------------------------------------------------------
+
+/// Morton-sorted uniform leaf set (one level) with pseudorandom fields,
+/// in both the AoS (LeafChunk) and SoA (gather kernel) shapes.
+struct SolveFixture {
+  std::vector<LocCode> codes;
+  std::vector<CellData> cells;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint8_t> levels;
+  std::vector<double> vof;
+  std::vector<double> tracer;
+};
+
+SolveFixture make_uniform_leafset(int level) {
+  SolveFixture f;
+  const std::uint32_t side = 1u << level;
+  for (std::uint32_t z = 0; z < side; ++z)
+    for (std::uint32_t y = 0; y < side; ++y)
+      for (std::uint32_t x = 0; x < side; ++x)
+        f.codes.push_back(LocCode::from_grid(level, x, y, z));
+  std::sort(f.codes.begin(), f.codes.end(),
+            [](const LocCode& a, const LocCode& b) {
+              return a.key() < b.key();
+            });
+  Rng rng(41);
+  for (const auto& c : f.codes) {
+    CellData d;
+    d.vof = static_cast<double>(rng.below(1000)) / 999.0;
+    d.tracer = static_cast<double>(rng.below(1000)) / 999.0;
+    f.cells.push_back(d);
+    f.keys.push_back(c.key());
+    f.levels.push_back(static_cast<std::uint8_t>(c.level()));
+    f.vof.push_back(d.vof);
+    f.tracer.push_back(d.tracer);
+  }
+  return f;
+}
+
+/// One Jacobi gather pass over 4096 leaves through a prebuilt
+/// face-neighbor slot table. Scalar vs AVX2 is the only difference
+/// between the two variants; outputs are bit-identical (test_simd).
+void gather_bench_impl(benchmark::State& state, bool simd_on) {
+  const SolveFixture f = make_uniform_leafset(4);
+  amr::FaceNeighborIndex index;
+  index.build(f.keys.data(), f.levels.data(), f.keys.size());
+  std::vector<double> relaxed(f.keys.size(), 0.0);
+  std::vector<std::uint8_t> touched(f.keys.size(), 0);
+  const bool saved = simd::enabled();
+  simd::set_enabled(simd_on);
+  for (auto _ : state) {
+    simd::gather_relax(f.vof.data(), f.tracer.data(), index.slots(), 0,
+                       f.keys.size(), relaxed.data(), touched.data());
+    benchmark::DoNotOptimize(relaxed.data());
+    benchmark::ClobberMemory();
+  }
+  simd::set_enabled(saved);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * f.keys.size()));
+}
+
+void BM_GatherScalar(benchmark::State& state) {
+  gather_bench_impl(state, false);
+}
+BENCHMARK(BM_GatherScalar);
+
+void BM_GatherSimd(benchmark::State& state) {
+  gather_bench_impl(state, true);
+}
+BENCHMARK(BM_GatherSimd);
+
+/// Full face-neighbor-index build (batched Morton decode/encode + moving
+/// hint resolution) — the amortized per-sweep cost the index trades for
+/// the per-face binary searches below.
+void BM_NeighborIndexBuild(benchmark::State& state) {
+  const SolveFixture f = make_uniform_leafset(4);
+  amr::FaceNeighborIndex index;
+  for (auto _ : state) {
+    index.invalidate();
+    index.build(f.keys.data(), f.levels.data(), f.keys.size());
+    benchmark::DoNotOptimize(index.slots());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * f.keys.size()));
+}
+BENCHMARK(BM_NeighborIndexBuild);
+
+/// LeafChunk::find with probes arriving in Morton order: the verified
+/// hint short-circuits the binary search almost every time.
+void BM_LeafFindHintHit(benchmark::State& state) {
+  const SolveFixture f = make_uniform_leafset(4);
+  amr::LeafChunk ch;
+  ch.begin = 0;
+  ch.end = f.codes.size();
+  ch.codes = f.codes.data();
+  ch.cells = f.cells.data();
+  ch.leaves = f.codes.size();
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.find(f.codes[at]));
+    at = (at + 1) & (f.codes.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LeafFindHintHit);
+
+/// Same chunk, probes striding far from the previous answer: the hint
+/// never matches, every find pays the full bisection.
+void BM_LeafFindHintMiss(benchmark::State& state) {
+  const SolveFixture f = make_uniform_leafset(4);
+  amr::LeafChunk ch;
+  ch.begin = 0;
+  ch.end = f.codes.size();
+  ch.codes = f.codes.data();
+  ch.cells = f.cells.data();
+  ch.leaves = f.codes.size();
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.find(f.codes[at]));
+    at = (at + 2731) & (f.codes.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LeafFindHintMiss);
+
 void BM_BptreeInsert(benchmark::State& state) {
   nvbm::Device dev(std::size_t{1} << 30, bench::device_config());
   nvfs::FileStore fs(dev);
@@ -523,7 +651,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg(argv[i]);
     if ((arg == "--json" || arg == "--trace" || arg == "--threads" ||
-         arg == "--node-cache" || arg == "--timeseries") &&
+         arg == "--node-cache" || arg == "--timeseries" ||
+         arg == "--simd") &&
         i + 1 < argc) {
       ++i;  // skip the flag and its value
       continue;

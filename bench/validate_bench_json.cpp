@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
   if (config == nullptr) return fail(err);
   if (require(*config, "threads", Value::Type::kNumber, &err) == nullptr ||
       require(*config, "node_cache", Value::Type::kNumber, &err) ==
-          nullptr) {
+          nullptr ||
+      require(*config, "simd", Value::Type::kNumber, &err) == nullptr) {
     return fail("config: " + err);
   }
   // Persist-path knobs (dirty-subtree pruning on/off, merge thread cap):

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "amr/mesh_backend.hpp"
+#include "amr/neighbor_index.hpp"
 
 namespace pmo::amr {
 
@@ -40,6 +41,12 @@ struct DropletParams {
   double axis_y = 0.5;
 
   int solver_sweeps = 2;        ///< relaxation passes per step
+  /// Resolve stencil neighbors through the per-sweep face-neighbor index
+  /// (one batched build, reused across sweeps/steps until the leaf set
+  /// changes) instead of per-face binary search in every sweep. Results
+  /// are bit-identical either way; `false` keeps the legacy per-face
+  /// LeafChunk::find arm (the perf gate's baseline).
+  bool neighbor_index = true;
   /// Extra sub-cycled sweeps over the *focus window* (the near-tip /
   /// pinch-off region): breakup dynamics need finer time resolution, so
   /// the solver concentrates work there — the access-pattern hot spot the
@@ -117,6 +124,9 @@ class DropletWorkload {
   DropletParams params_;
   double time_ = 0.0;
   exec::ThreadPool* exec_ = nullptr;
+  /// Face-neighbor slot table of the solve, cached across Jacobi sweeps
+  /// and across steps; invalidated by MeshBackend::structure_version().
+  FaceNeighborIndex nbr_index_;
 };
 
 }  // namespace pmo::amr

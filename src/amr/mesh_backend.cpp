@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exec/pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pmo::amr {
 
@@ -13,24 +14,34 @@ const CellData* LeafChunk::find(const LocCode& code) const noexcept {
   // candidate is the last leaf whose key is <= code's key; it covers
   // `code` iff code lies in its octant. Stencil gathers probe in
   // near-Morton order, so first try the last candidate (and its right
-  // neighbor) before paying for the binary search.
+  // neighbor) before paying for the binary search. Every candidate-slot
+  // key inspection counts one probe (the perf_smoke baseline the
+  // face-neighbor index is gated against).
   std::size_t idx;
   const std::size_t h = hint < leaves ? hint : 0;
+  ++probes;
   if (codes[h].key() <= code.key() &&
       (h + 1 == leaves || code.key() < codes[h + 1].key())) {
     idx = h;
-  } else if (h + 2 <= leaves && codes[h + 1].key() <= code.key() &&
-             (h + 2 == leaves || code.key() < codes[h + 2].key())) {
+  } else if (++probes, h + 2 <= leaves && codes[h + 1].key() <= code.key() &&
+                           (h + 2 == leaves ||
+                            code.key() < codes[h + 2].key())) {
     idx = h + 1;
   } else {
-    const LocCode* first = codes;
-    const LocCode* last = codes + leaves;
-    const LocCode* it = std::upper_bound(
-        first, last, code, [](const LocCode& a, const LocCode& b) {
-          return a.key() < b.key();
-        });
-    if (it == first) return nullptr;
-    idx = static_cast<std::size_t>(it - first) - 1;
+    // upper_bound by key, written out so each bisection step is counted.
+    std::size_t lo = 0;
+    std::size_t hi = leaves;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      ++probes;
+      if (codes[mid].key() <= code.key()) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) return nullptr;
+    idx = lo - 1;
   }
   hint = idx;
   const LocCode& leaf = codes[idx];
@@ -59,6 +70,8 @@ void MeshBackend::sweep_leaves_chunked(std::size_t chunks,
   if (prepare) prepare(n);
   if (n == 0) return;
   chunks = std::clamp<std::size_t>(chunks, 1, n);
+  auto& probe_counter =
+      telemetry::Registry::global().counter("amr.chunk.find_probes");
   const auto run_chunk = [&](std::size_t k) {
     LeafChunk ch;
     ch.index = k;
@@ -68,6 +81,9 @@ void MeshBackend::sweep_leaves_chunked(std::size_t chunks,
     ch.cells = cells.data();
     ch.leaves = n;
     fn(ch);
+    // Counter adds commute, so the per-sweep total is thread-count
+    // independent (each chunk's probe sequence is fixed).
+    if (ch.probes != 0) probe_counter.add(ch.probes);
   };
   // When the sweep is reached from inside a pool task (a serve-style
   // mutator running as one run_tasks() lane), fall back to inline chunks
@@ -78,6 +94,42 @@ void MeshBackend::sweep_leaves_chunked(std::size_t chunks,
   } else {
     for (std::size_t k = 0; k < chunks; ++k) run_chunk(k);
   }
+}
+
+void MeshBackend::dispatch_soa_chunks(const SoaLeaves& soa,
+                                      std::size_t chunks,
+                                      const SoaLeafChunkFn& fn,
+                                      exec::ThreadPool* pool,
+                                      const SoaPrepareFn& prepare) {
+  const std::size_t n = soa.size();
+  if (prepare) prepare(soa);
+  if (n == 0) return;
+  chunks = std::clamp<std::size_t>(chunks, 1, n);
+  const auto run_chunk = [&](std::size_t k) {
+    SoaLeafChunk ch;
+    ch.index = k;
+    ch.begin = k * n / chunks;
+    ch.end = (k + 1) * n / chunks;
+    ch.leaves = &soa;
+    fn(ch);
+  };
+  if (pool != nullptr && !exec::in_parallel_task()) {
+    pool->parallel_for(chunks, run_chunk);
+  } else {
+    for (std::size_t k = 0; k < chunks; ++k) run_chunk(k);
+  }
+}
+
+void MeshBackend::sweep_leaves_chunked_soa(std::size_t chunks,
+                                           const SoaLeafChunkFn& fn,
+                                           exec::ThreadPool* pool,
+                                           const SoaPrepareFn& prepare) {
+  // Same charged extraction as the AoS path, into parallel arrays.
+  SoaLeaves soa;
+  visit_leaves([&](const LocCode& c, const CellData& d) {
+    soa.push_back(c, d);
+  });
+  dispatch_soa_chunks(soa, chunks, fn, pool, prepare);
 }
 
 }  // namespace pmo::amr

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/morton.hpp"
 #include "octree/cell_data.hpp"
@@ -54,6 +55,14 @@ struct LeafChunk {
   /// on probe order. Safe despite `mutable`: each chunk object is
   /// confined to a single callback invocation (one worker).
   mutable std::size_t hint = 0;
+
+  /// Candidate-slot inspections (hint checks + binary-search steps)
+  /// performed by find() on this chunk. Deterministic — the probe
+  /// sequence within a chunk is fixed by the callback, and chunk bounds
+  /// never depend on the thread count — so the per-sweep total is an
+  /// exact modeled counter (amr.chunk.find_probes), the baseline of the
+  /// face-neighbor-index perf gate.
+  mutable std::uint64_t probes = 0;
 };
 
 /// Per-chunk callback of sweep_leaves_chunked.
@@ -62,6 +71,51 @@ using LeafChunkFn = std::function<void(const LeafChunk&)>;
 /// the total leaf count — the place to size per-leaf scratch arrays that
 /// chunk callbacks then fill concurrently.
 using LeafPrepareFn = std::function<void(std::size_t)>;
+
+/// Structure-of-arrays leaf snapshot: the same Morton-sorted leaf
+/// enumeration as the AoS snapshot of sweep_leaves_chunked, split into
+/// parallel key/level/vof/tracer arrays so the solve kernels (the SIMD
+/// gather, the interface-band mark kernel, the face-neighbor-index build)
+/// stream one field at a time — the DRAM-side mirror of the linear cold
+/// tier's packed page layout, which is why the PM backend can fill it
+/// page-wise straight from chains.
+struct SoaLeaves {
+  std::vector<std::uint64_t> keys;   ///< LocCode::key(), Morton order
+  std::vector<std::uint8_t> levels;  ///< LocCode::level()
+  std::vector<double> vof;
+  std::vector<double> tracer;
+
+  std::size_t size() const noexcept { return keys.size(); }
+  void clear() noexcept {
+    keys.clear();
+    levels.clear();
+    vof.clear();
+    tracer.clear();
+  }
+  void push_back(const LocCode& code, const CellData& d) {
+    keys.push_back(code.key());
+    levels.push_back(static_cast<std::uint8_t>(code.level()));
+    vof.push_back(d.vof);
+    tracer.push_back(d.tracer);
+  }
+};
+
+/// One contiguous Morton range of an SoA snapshot; `leaves` points at the
+/// full arrays (neighbor slots resolved by a prebuilt index may land
+/// outside [begin, end)), the callback owns only its own range's output
+/// slots.
+struct SoaLeafChunk {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  const SoaLeaves* leaves = nullptr;
+};
+
+using SoaLeafChunkFn = std::function<void(const SoaLeafChunk&)>;
+/// Runs once after SoA extraction, before any chunk callback, with the
+/// full snapshot — where per-leaf scratch is sized and the face-neighbor
+/// index is built/validated (driver thread, deterministic order).
+using SoaPrepareFn = std::function<void(const SoaLeaves&)>;
 
 class MeshBackend {
  public:
@@ -105,6 +159,31 @@ class MeshBackend {
                                     exec::ThreadPool* pool = nullptr,
                                     const LeafPrepareFn& prepare = nullptr);
 
+  /// SoA variant of sweep_leaves_chunked: extracts the snapshot as
+  /// separate key/level/vof/tracer arrays (same charged traversal, same
+  /// Morton enumeration, same fixed chunk decomposition). The default
+  /// implementation fills the arrays through visit_leaves; the PM backend
+  /// overrides extraction to stream linear-tier chains page-wise. Chunk
+  /// callbacks follow the sweep_leaves_chunked rules (snapshot-only, no
+  /// backend access).
+  virtual void sweep_leaves_chunked_soa(
+      std::size_t chunks, const SoaLeafChunkFn& fn,
+      exec::ThreadPool* pool = nullptr,
+      const SoaPrepareFn& prepare = nullptr);
+
+  /// Version stamp of the leaf SET (not the leaf data): any mutation that
+  /// adds, removes or renames leaves — refine, coarsen, insert, remove —
+  /// bumps it; pure data write-backs, CoW relocations, persists and
+  /// layout transformations do not. Equal stamps (plus equal leaf counts)
+  /// guarantee two snapshot extractions enumerate identical (key, level)
+  /// arrays, which is the invalidation rule of the solve's face-neighbor
+  /// index. The default implementation returns a fresh value on every
+  /// call — "always changed" — so backends that do not track structure
+  /// stay correct (the index just rebuilds every sweep).
+  virtual std::uint64_t structure_version() {
+    return fallback_structure_version_++;
+  }
+
   /// Attaches (or detaches, with nullptr) an execution pool the backend
   /// may use to parallelize internal phases — currently the PM-octree's
   /// persist-time merge. Backends without internal parallelism ignore it.
@@ -139,6 +218,18 @@ class MeshBackend {
   virtual std::uint64_t nvbm_writes() const = 0;
   /// Approximate resident bytes across DRAM and NVBM.
   virtual std::uint64_t memory_bytes() = 0;
+
+ protected:
+  /// Shared chunk dispatcher of the SoA sweep: fixed decomposition by
+  /// (leaf count, chunks), pool fan-out with the same nesting guard as
+  /// the AoS path. Backends that override extraction call this.
+  static void dispatch_soa_chunks(const SoaLeaves& soa, std::size_t chunks,
+                                  const SoaLeafChunkFn& fn,
+                                  exec::ThreadPool* pool,
+                                  const SoaPrepareFn& prepare);
+
+ private:
+  std::uint64_t fallback_structure_version_ = 0;
 };
 
 }  // namespace pmo::amr

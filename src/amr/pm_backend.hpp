@@ -25,6 +25,24 @@ class PmOctreeBackend final : public MeshBackend {
     tree_->for_each_leaf_mut_pruned(visit_subtree, fn);
   }
   void visit_leaves(const LeafFn& fn) override { tree_->for_each_leaf(fn); }
+  /// SoA snapshot extraction straight from the tree: DRAM/NVBM leaves via
+  /// the charged read path, linear-tier chains streamed page-wise (one
+  /// page charge per packed page instead of per-record synthesis).
+  void sweep_leaves_chunked_soa(std::size_t chunks, const SoaLeafChunkFn& fn,
+                                exec::ThreadPool* pool = nullptr,
+                                const SoaPrepareFn& prepare =
+                                    nullptr) override {
+    SoaLeaves soa;
+    tree_->extract_leaves_soa(soa.keys, soa.levels, soa.vof, soa.tracer);
+    dispatch_soa_chunks(soa, chunks, fn, pool, prepare);
+  }
+  /// Leaf-set stamp: the tree's topology version, offset by a base that
+  /// jumps on recover() (pm_restore replaces the tree, resetting its
+  /// counter — the offset keeps stamps from ever repeating across the
+  /// swap).
+  std::uint64_t structure_version() override {
+    return recover_version_base_ + tree_->topology_version();
+  }
   std::size_t refine_where(const LeafPred& pred,
                            const ChildInit& init) override {
     return tree_->refine_where(pred, init);
@@ -97,6 +115,9 @@ class PmOctreeBackend final : public MeshBackend {
   std::uint64_t retired_ns_ = 0;
   /// Attached execution pool, re-applied to trees rebuilt on recover().
   exec::ThreadPool* exec_ = nullptr;
+  /// structure_version() base, advanced past the retired tree's stamp on
+  /// every recover() so the new tree's restarted counter never collides.
+  std::uint64_t recover_version_base_ = 0;
 };
 
 }  // namespace pmo::amr

@@ -40,6 +40,21 @@ void EtreeBackend::visit_leaves(const amr::LeafFn& fn) {
   for (const auto& rec : all) fn(rec.code(), rec.data);
 }
 
+void EtreeBackend::sweep_leaves_chunked_soa(
+    std::size_t chunks, const amr::SoaLeafChunkFn& fn,
+    exec::ThreadPool* pool, const amr::SoaPrepareFn& prepare) {
+  // One charged index scan straight into the parallel arrays: records
+  // come out of scan_all in Morton key order, which is the leaf
+  // enumeration every other backend produces.
+  amr::SoaLeaves soa;
+  soa.keys.reserve(tree_->size());
+  tree_->scan_all([&](const OctantRecord& rec) {
+    soa.push_back(rec.code(), rec.data);
+    return true;
+  });
+  dispatch_soa_chunks(soa, chunks, fn, pool, prepare);
+}
+
 void EtreeBackend::sweep_leaves(const amr::LeafMutFn& fn) {
   // Same collect-then-apply discipline; modified records are written back
   // through the index afterwards (read-modify-write via the buffer pool,
@@ -59,6 +74,7 @@ void EtreeBackend::refine_leaf(const OctantRecord& rec,
                                const amr::ChildInit& init) {
   const LocCode code = rec.code();
   PMO_CHECK_MSG(code.level() < kMaxLevel, "cannot refine beyond kMaxLevel");
+  ++topo_version_;
   tree_->erase(rec.key);
   for (int i = 0; i < kChildrenPerNode; ++i) {
     const auto child = code.child(i);
@@ -111,6 +127,7 @@ std::size_t EtreeBackend::coarsen_where(const amr::LeafPred& pred) {
     }
     return true;
   });
+  if (!groups.empty()) ++topo_version_;
   for (const auto& g : groups) {
     CellData acc{};
     for (const auto& rec : g) {
@@ -191,6 +208,7 @@ bool EtreeBackend::recover() {
   // Same-node restart: reopen the database; it is already consistent.
   retired_ns_ += tree_->search_dram_ns();
   tree_ = std::make_unique<Bptree>(store_, "etree.db", 256);
+  ++topo_version_;  // conservatively treat the reopened index as new
   return true;
 }
 

@@ -29,6 +29,14 @@ class EtreeBackend final : public amr::MeshBackend {
 
   void sweep_leaves(const amr::LeafMutFn& fn) override;
   void visit_leaves(const amr::LeafFn& fn) override;
+  void sweep_leaves_chunked_soa(
+      std::size_t chunks, const amr::SoaLeafChunkFn& fn,
+      exec::ThreadPool* pool = nullptr,
+      const amr::SoaPrepareFn& prepare = nullptr) override;
+  /// Leaf-set stamp: bumped by every record-set mutation (refine_leaf,
+  /// coarsen groups, recovery reload). B+-tree page churn and data
+  /// updates do not move it.
+  std::uint64_t structure_version() override { return topo_version_; }
   std::size_t refine_where(const amr::LeafPred& pred,
                            const amr::ChildInit& init) override;
   std::size_t coarsen_where(const amr::LeafPred& pred) override;
@@ -55,6 +63,7 @@ class EtreeBackend final : public amr::MeshBackend {
   nvfs::FileStore store_;
   std::unique_ptr<Bptree> tree_;
   std::uint64_t retired_ns_ = 0;  ///< search time of replaced index objects
+  std::uint64_t topo_version_ = 0;  ///< see structure_version()
 };
 
 }  // namespace pmo::baseline

@@ -62,6 +62,21 @@ void InCoreBackend::visit_leaves(const amr::LeafFn& fn) {
   tree_->for_each_leaf(fn);
 }
 
+void InCoreBackend::sweep_leaves_chunked_soa(
+    std::size_t chunks, const amr::SoaLeafChunkFn& fn,
+    exec::ThreadPool* pool, const amr::SoaPrepareFn& prepare) {
+  // DRAM-only tree, but the extraction still goes through the tree's
+  // charged read path (60 ns DRAM model per octant) — same accounting as
+  // the AoS sweep.
+  amr::SoaLeaves soa;
+  tree_->extract_leaves_soa(soa.keys, soa.levels, soa.vof, soa.tracer);
+  dispatch_soa_chunks(soa, chunks, fn, pool, prepare);
+}
+
+std::uint64_t InCoreBackend::structure_version() {
+  return recover_version_base_ + tree_->topology_version();
+}
+
 std::size_t InCoreBackend::refine_where(const amr::LeafPred& pred,
                                         const amr::ChildInit& init) {
   return tree_->refine_where(pred, init);
@@ -121,6 +136,7 @@ bool InCoreBackend::recover() {
   // Rebuild the whole in-memory tree from scratch — the slow path the
   // paper measures at 42.9 s for 6.75M elements.
   retired_ns_ += tree_->modeled_ns();
+  recover_version_base_ += tree_->topology_version() + 1;
   tree_ = std::make_unique<pmoctree::PmOctree>(
       pmoctree::PmOctree::create(tree_heap_, dram_only_config()));
   std::size_t at = sizeof(count);

@@ -39,6 +39,11 @@ class InCoreBackend final : public amr::MeshBackend {
       const std::function<bool(const LocCode&)>& visit_subtree,
       const amr::LeafMutFn& fn) override;
   void visit_leaves(const amr::LeafFn& fn) override;
+  void sweep_leaves_chunked_soa(
+      std::size_t chunks, const amr::SoaLeafChunkFn& fn,
+      exec::ThreadPool* pool = nullptr,
+      const amr::SoaPrepareFn& prepare = nullptr) override;
+  std::uint64_t structure_version() override;
   std::size_t refine_where(const amr::LeafPred& pred,
                            const amr::ChildInit& init) override;
   std::size_t coarsen_where(const amr::LeafPred& pred) override;
@@ -69,6 +74,8 @@ class InCoreBackend final : public amr::MeshBackend {
   nvbm::Heap tree_heap_;
   std::unique_ptr<pmoctree::PmOctree> tree_;
   std::uint64_t retired_ns_ = 0;  ///< time accrued by replaced trees
+  /// structure_version() base across recover()'s tree replacement.
+  std::uint64_t recover_version_base_ = 0;
 };
 
 }  // namespace pmo::baseline

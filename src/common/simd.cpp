@@ -1,0 +1,226 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+
+#if defined(__AVX2__) && !defined(PMO_SIMD_FORCE_PORTABLE)
+#define PMO_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define PMO_SIMD_AVX2 0
+#endif
+
+namespace pmo::simd {
+
+namespace {
+
+std::atomic<bool> g_enabled{PMO_SIMD_AVX2 != 0};
+
+/// The canonical scalar gather body. The portable kernel is this loop;
+/// the AVX2 kernel is held bit-identical to it (tails also come here).
+inline void gather_one(const double* vof, const double* tracer,
+                       const std::int32_t* nbr, std::size_t i,
+                       double* relaxed, std::uint8_t* touched) noexcept {
+  const double v = vof[i];
+  const double t = tracer[i];
+  if (gather_skip_cell(v, t)) return;
+  double acc = 0.0;
+  int n = 0;
+  const std::int32_t* slots = nbr + static_cast<std::size_t>(kFaceCount) * i;
+  for (int f = 0; f < kFaceCount; ++f) {
+    const std::int32_t s = slots[f];
+    if (s < 0) continue;
+    acc += tracer[static_cast<std::size_t>(s)];
+    ++n;
+  }
+  const double r = n > 0 ? 0.5 * t + 0.5 * (acc / n) : t;
+  relaxed[i] = r + 0.1 * v;
+  touched[i] = 1;
+}
+
+inline void gather_portable(const double* vof, const double* tracer,
+                            const std::int32_t* nbr, std::size_t begin,
+                            std::size_t end, double* relaxed,
+                            std::uint8_t* touched) noexcept {
+  for (std::size_t i = begin; i < end; ++i)
+    gather_one(vof, tracer, nbr, i, relaxed, touched);
+}
+
+inline void mark_portable(const double* vof, std::size_t begin,
+                          std::size_t end, double lo, double hi,
+                          std::uint8_t* marks) noexcept {
+  for (std::size_t i = begin; i < end; ++i) {
+    marks[i] = (vof[i] > lo && vof[i] < hi) ? 1 : 0;
+  }
+}
+
+#if PMO_SIMD_AVX2
+
+/// One masked 4x64-bit lane group of the gather. Per-lane arithmetic
+/// mirrors gather_one operation for operation: blend-instead-of-add for
+/// absent faces (so a -0.0 accumulator survives), explicit mul/add (no
+/// FMA), division only where n > 0 lanes are kept.
+inline void gather_block4(const double* vof, const double* tracer,
+                          const std::int32_t* nbr, std::size_t i,
+                          double* relaxed, std::uint8_t* touched) noexcept {
+  const __m256d v = _mm256_loadu_pd(vof + i);
+  const __m256d t = _mm256_loadu_pd(tracer + i);
+  // skip = (v <= 0.0) && (t <= 1e-9); ordered compares: NaN never skips,
+  // exactly like the scalar test.
+  const __m256d skip = _mm256_and_pd(
+      _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_LE_OQ),
+      _mm256_cmp_pd(t, _mm256_set1_pd(1e-9), _CMP_LE_OQ));
+  const int skip_mask = _mm256_movemask_pd(skip);
+  if (skip_mask == 0xf) return;
+  const std::int32_t* base =
+      nbr + static_cast<std::size_t>(kFaceCount) * i;
+  // All 24 slot indices at once: a set sign bit anywhere means some face
+  // of some lane is absent (-1). Interior leaves — the vast majority —
+  // take the branch-free fast path below with no presence masks.
+  const __m256i raw0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base));
+  const __m256i raw1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 8));
+  const __m256i raw2 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 16));
+  const bool all_present =
+      _mm256_movemask_ps(_mm256_castsi256_ps(
+          _mm256_or_si256(raw0, _mm256_or_si256(raw1, raw2)))) == 0;
+  __m256d acc = _mm256_setzero_pd();
+  __m256d cnt = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  if (all_present) {
+    // Every face present: plain gathers and plain adds, still in fixed
+    // face order 0..5 — value-for-value the same additions the masked
+    // path would blend in, so the fast path cannot move a bit.
+    for (int f = 0; f < kFaceCount; ++f) {
+      const __m128i idx =
+          _mm_set_epi32(base[3 * kFaceCount + f], base[2 * kFaceCount + f],
+                        base[kFaceCount + f], base[f]);
+      acc = _mm256_add_pd(acc, _mm256_i32gather_pd(tracer, idx, 8));
+      cnt = _mm256_add_pd(cnt, one);
+    }
+  } else {
+    // Phase 1: issue all 6 masked gathers up front — they are mutually
+    // independent, so they overlap in flight instead of serializing on
+    // the accumulator dependency chain below.
+    __m256d present[kFaceCount];
+    __m256d g[kFaceCount];
+    for (int f = 0; f < kFaceCount; ++f) {
+      // Slot indices of face f for lanes i..i+3 (stride 6 in the table).
+      const __m128i idx =
+          _mm_set_epi32(base[3 * kFaceCount + f], base[2 * kFaceCount + f],
+                        base[kFaceCount + f], base[f]);
+      const __m128i present32 = _mm_cmpgt_epi32(idx, _mm_set1_epi32(-1));
+      present[f] = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(present32));
+      // Masked gather: lanes with slot -1 read nothing and yield 0.0 —
+      // but the 0.0 is never added; the blend keeps the old accumulator
+      // bits.
+      g[f] = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), tracer, idx,
+                                      present[f], 8);
+    }
+    // Phase 2: the reduction, in fixed face order 0..5 (the bit-identity
+    // contract) — blend keeps absent faces out without adding a zero.
+    for (int f = 0; f < kFaceCount; ++f) {
+      acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, g[f]), present[f]);
+      cnt = _mm256_blendv_pd(cnt, _mm256_add_pd(cnt, one), present[f]);
+    }
+  }
+  // r = n > 0 ? 0.5*t + 0.5*(acc/n) : t. cnt holds exact small integers,
+  // so acc/cnt is the same IEEE division as the scalar acc/n; n == 0
+  // lanes divide by zero but are blended away before use.
+  const __m256d has_nb =
+      _mm256_cmp_pd(cnt, _mm256_setzero_pd(), _CMP_GT_OQ);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d mean = _mm256_div_pd(acc, cnt);
+  __m256d r = _mm256_add_pd(_mm256_mul_pd(half, t),
+                            _mm256_mul_pd(half, mean));
+  r = _mm256_blendv_pd(t, r, has_nb);
+  const __m256d out =
+      _mm256_add_pd(r, _mm256_mul_pd(_mm256_set1_pd(0.1), v));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, out);
+  for (int l = 0; l < 4; ++l) {
+    if (skip_mask & (1 << l)) continue;
+    relaxed[i + static_cast<std::size_t>(l)] = lanes[l];
+    touched[i + static_cast<std::size_t>(l)] = 1;
+  }
+}
+
+inline void gather_avx2(const double* vof, const double* tracer,
+                        const std::int32_t* nbr, std::size_t begin,
+                        std::size_t end, double* relaxed,
+                        std::uint8_t* touched) noexcept {
+  std::size_t i = begin;
+  // 8 leaves per iteration: two independent masked 4-lane groups.
+  for (; i + 8 <= end; i += 8) {
+    gather_block4(vof, tracer, nbr, i, relaxed, touched);
+    gather_block4(vof, tracer, nbr, i + 4, relaxed, touched);
+  }
+  if (i + 4 <= end) {
+    gather_block4(vof, tracer, nbr, i, relaxed, touched);
+    i += 4;
+  }
+  for (; i < end; ++i) gather_one(vof, tracer, nbr, i, relaxed, touched);
+}
+
+inline void mark_avx2(const double* vof, std::size_t n, double lo,
+                      double hi, std::uint8_t* marks) noexcept {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vof + i);
+    // Ordered compares: NaN is never an interface cell, as in the scalar
+    // predicate.
+    const __m256d in = _mm256_and_pd(_mm256_cmp_pd(v, vlo, _CMP_GT_OQ),
+                                     _mm256_cmp_pd(v, vhi, _CMP_LT_OQ));
+    const int m = _mm256_movemask_pd(in);
+    marks[i] = (m >> 0) & 1;
+    marks[i + 1] = (m >> 1) & 1;
+    marks[i + 2] = (m >> 2) & 1;
+    marks[i + 3] = (m >> 3) & 1;
+  }
+  mark_portable(vof, i, n, lo, hi, marks);
+}
+
+#endif  // PMO_SIMD_AVX2
+
+}  // namespace
+
+bool avx2_compiled() noexcept { return PMO_SIMD_AVX2 != 0; }
+
+bool enabled() noexcept {
+  return avx2_compiled() && g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void gather_relax(const double* vof, const double* tracer,
+                  const std::int32_t* nbr, std::size_t begin,
+                  std::size_t end, double* relaxed,
+                  std::uint8_t* touched) noexcept {
+#if PMO_SIMD_AVX2
+  if (enabled()) {
+    gather_avx2(vof, tracer, nbr, begin, end, relaxed, touched);
+    return;
+  }
+#endif
+  gather_portable(vof, tracer, nbr, begin, end, relaxed, touched);
+}
+
+void mark_interface_band(const double* vof, std::size_t n, double band,
+                         std::uint8_t* marks) noexcept {
+  const double lo = band;
+  const double hi = 1.0 - band;
+#if PMO_SIMD_AVX2
+  if (enabled()) {
+    mark_avx2(vof, n, lo, hi, marks);
+    return;
+  }
+#endif
+  mark_portable(vof, 0, n, lo, hi, marks);
+}
+
+}  // namespace pmo::simd

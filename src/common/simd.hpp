@@ -1,0 +1,80 @@
+// SIMD kernel layer for the solve hot loops (AVX2 with a portable scalar
+// fallback).
+//
+// Same seam pattern as the Morton BMI2 fast path (morton.cpp): one
+// translation unit, compiled with -mavx2 when the build host supports the
+// instruction set, with the vector bodies guarded by __AVX2__ so every
+// other toolchain gets the portable loops. On top of the compile-time
+// probe there is a *runtime* dispatch switch (set_enabled) so benches and
+// tests can A/B the two paths in a single binary.
+//
+// Determinism contract (DESIGN.md §12): the AVX2 kernels are bit-identical
+// to the portable loops — per-lane reduction order is fixed (face order
+// 0..5), absent terms are skipped by blending rather than adding a zero
+// (an add of +0.0 would flip a -0.0 accumulator), no FMA contraction is
+// possible (-mavx2 does not enable FMA and the kernels use explicit
+// mul/add intrinsics), and NaN/denormal inputs flow through the same IEEE
+// operations in both paths. Toggling SIMD changes wall-clock only; the
+// differential suite in tests/simd_test.cpp holds both paths to that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmo::simd {
+
+/// Number of face neighbors per octant (the Jacobi stencil width).
+inline constexpr int kFaceCount = 6;
+
+/// Canonical face-neighbor offset table of the solve stencil, hoisted out
+/// of the gather loop so the scalar fallback, the AVX2 kernel and the
+/// neighbor-index build all agree on one face order (the per-lane
+/// reduction order that makes SIMD on/off bit-identical).
+inline constexpr int kFaces[kFaceCount][3] = {
+    {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+
+/// Liquid-cell skip test of the Jacobi gather, hoisted so every gather
+/// implementation (legacy per-face find, portable kernel, AVX2 kernel)
+/// shares the one definition: gas cells with no tracer are left untouched.
+inline bool gather_skip_cell(double vof, double tracer) noexcept {
+  return vof <= 0.0 && tracer <= 1e-9;
+}
+
+/// True when the AVX2 kernels are compiled into this binary (the cmake
+/// host probe passed and PMO_SIMD_FORCE_PORTABLE was not defined).
+bool avx2_compiled() noexcept;
+
+/// Runtime dispatch switch. Defaults to avx2_compiled(); set_enabled(true)
+/// on a portable-only build is a no-op (enabled() stays false). Flip it
+/// only between kernel phases — the kernels read it once per call.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Jacobi gather over an SoA leaf snapshot and a prebuilt face-neighbor
+/// slot table. For each leaf i in [begin, end):
+///
+///   skip when gather_skip_cell(vof[i], tracer[i]);
+///   acc/n  = sum/count of tracer[nbr[6i+f]] over faces f with nbr >= 0,
+///            accumulated in face order 0..5;
+///   r      = n > 0 ? 0.5*tracer[i] + 0.5*(acc/n) : tracer[i];
+///   relaxed[i] = r + 0.1*vof[i];  touched[i] = 1.
+///
+/// Skipped leaves leave relaxed[i]/touched[i] untouched. `nbr` holds 6
+/// int32 slot indices per leaf (leaf-major), -1 for "no covering leaf"
+/// (domain boundary). Writes only slots in [begin, end), so disjoint
+/// ranges may run concurrently. The AVX2 path processes 8 leaves per
+/// iteration (two masked 4x64-bit lanes); results are bit-identical to
+/// the portable loop for every input including NaN, denormal and -0.0
+/// tracer values.
+void gather_relax(const double* vof, const double* tracer,
+                  const std::int32_t* nbr, std::size_t begin,
+                  std::size_t end, double* relaxed,
+                  std::uint8_t* touched) noexcept;
+
+/// Interface-band mark kernel (the refine_feature predicate, vectorized):
+/// marks[i] = 1 iff band < vof[i] < 1 - band, else 0 — exactly
+/// is_interface_cell over an SoA vof array. NaN marks 0 in both paths.
+void mark_interface_band(const double* vof, std::size_t n, double band,
+                         std::uint8_t* marks) noexcept;
+
+}  // namespace pmo::simd

@@ -614,6 +614,63 @@ void PmOctree::for_each_leaf(
   });
 }
 
+void PmOctree::extract_leaves_soa(std::vector<std::uint64_t>& keys,
+                                  std::vector<std::uint8_t>& levels,
+                                  std::vector<double>& vof,
+                                  std::vector<double>& tracer) {
+  if (cur_root_.null()) return;
+  std::vector<NodeRef> stack{cur_root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    if (ref.in_linear()) {
+      // Stream the whole packed subtree in one linear scan: records
+      // [r0, r0 + skip(r0)) are its DFS pre-order, which IS the Morton
+      // leaf order the snapshot needs (mask == 0 records are leaves).
+      // Modeled cost: one page charge per touched 3936-byte page — the
+      // sequential-scan price of the cold tier, instead of
+      // per-record synth_linear. No heat touch (see the header comment).
+      const std::uint64_t chain = ref.linear_chain();
+      const std::uint32_t r0 = ref.linear_index();
+      linear::ChainView view(device(), chain);
+      note_chain(chain, view.pages());
+      std::uint64_t probed = ~std::uint64_t{0};
+      const auto touch_page = [&](std::uint32_t rec) {
+        const std::uint64_t p = linear::page_offset(chain, rec);
+        if (p != probed) {
+          charge_linear_page(p);
+          probed = p;
+        }
+      };
+      touch_page(r0);
+      const std::uint32_t rend = r0 + view.skip(r0);
+      for (std::uint32_t r = r0; r < rend; ++r) {
+        touch_page(r);
+        if (view.mask(r) != 0) continue;
+        const LocCode code = view.code(r);
+        const CellData d = view.data(r);
+        keys.push_back(code.key());
+        levels.push_back(static_cast<std::uint8_t>(code.level()));
+        vof.push_back(d.vof);
+        tracer.push_back(d.tracer);
+      }
+      continue;
+    }
+    const PNode node = read_node(ref);
+    if (node.is_leaf()) {
+      keys.push_back(node.code.key());
+      levels.push_back(static_cast<std::uint8_t>(node.code.level()));
+      vof.push_back(node.data.vof);
+      tracer.push_back(node.data.tracer);
+      continue;
+    }
+    for (int i = kChildrenPerNode - 1; i >= 0; --i) {
+      const NodeRef c = node.child_ref(i);
+      if (!c.null()) stack.push_back(c);
+    }
+  }
+}
+
 void PmOctree::for_each_leaf_from(
     NodeRef root,
     const std::function<void(const LocCode&, const CellData&)>& fn) {
@@ -722,6 +779,7 @@ void PmOctree::insert(const LocCode& code, const CellData& data) {
   }
   // Create full sibling groups level by level under the deepest ancestor
   // (octree invariant: a node has zero or eight children).
+  ++topology_version_;  // new octants change the leaf set
   while (path.back().node.code.level() < code.level()) {
     const std::size_t pi = path.size() - 1;
     make_mutable(path, pi);
@@ -829,6 +887,7 @@ void PmOctree::remove(const LocCode& code) {
   path[pi].node.set_child(code.child_index(), NodeRef{});
   write_back_child(path[pi].ref, path[pi].node, code.child_index());
   logical_nodes_ -= free_subtree(doomed, /*tombstone_shared=*/true);
+  ++topology_version_;
 }
 
 void PmOctree::refine(
@@ -854,6 +913,7 @@ void PmOctree::refine(
   write_back_children(path[li].ref, parent);
   logical_nodes_ += kChildrenPerNode;
   note_depth(leaf.level() + 1);
+  ++topology_version_;
 }
 
 void PmOctree::coarsen(const LocCode& parent_code) {
@@ -884,6 +944,7 @@ void PmOctree::coarsen(const LocCode& parent_code) {
   }
   parent.data = acc;
   write_node(path[pi].ref, parent);
+  ++topology_version_;
 }
 
 std::size_t PmOctree::refine_where(

@@ -158,6 +158,22 @@ class PmOctree {
       const SnapshotHandle& snap,
       const std::function<void(const LocCode&, const CellData&)>& fn);
 
+  /// Charged SoA leaf extraction: appends every V_i leaf, in the same
+  /// Morton (DFS pre-order) enumeration as for_each_leaf, into parallel
+  /// key/level/vof/tracer arrays — the snapshot shape the SIMD solve
+  /// kernels consume. DRAM and node-store leaves go through the normal
+  /// read_node charging; linear-tier chains are streamed page-wise (one
+  /// charge_linear_page per newly touched packed page, records decoded
+  /// in place) instead of per-record synthesis — the modeled cost of
+  /// scanning the packed cold tier sequentially. Cold-tier records are
+  /// not heat-touched by this extraction (a whole-tier scan would
+  /// saturate the access ratio and defeat §3.3's hot/cold separation);
+  /// per-octant reads (sample, for_each_leaf) still are.
+  void extract_leaves_soa(std::vector<std::uint64_t>& keys,
+                          std::vector<std::uint8_t>& levels,
+                          std::vector<double>& vof,
+                          std::vector<double>& tracer);
+
   std::size_t node_count();
   std::size_t leaf_count();
   int depth() const noexcept { return depth_; }
@@ -319,6 +335,17 @@ class PmOctree {
   /// transparent, so this moves with worker scheduling, never with the
   /// modeled counters.
   std::uint64_t cursor_reuse() const noexcept { return cursor_reuse_; }
+  /// Version stamp of the leaf SET: bumped only by mutations that change
+  /// which octants exist — insert-created nodes, refine, coarsen,
+  /// remove. Data updates, CoW relocations, persist, GC and layout
+  /// transformation leave it unchanged (they move bytes, not octants).
+  /// Distinct from structure_version_, which invalidates traversal
+  /// cursors and therefore must also bump on relocation. Equal stamps
+  /// guarantee identical (key, level) leaf enumerations — the
+  /// invalidation contract of the solve's face-neighbor index.
+  std::uint64_t topology_version() const noexcept {
+    return topology_version_;
+  }
   void reset_counters();
 
   // Durable root-table slots (public for tests & crash tooling).
@@ -609,6 +636,9 @@ class PmOctree {
   /// frees, merges, transforms); cursors snapshot it and self-invalidate
   /// when it moves.
   std::uint64_t structure_version_ = 0;
+  /// Leaf-SET stamp (see topology_version()); a strict subset of
+  /// structure_version_'s triggers.
+  std::uint64_t topology_version_ = 0;
   std::uint64_t cursor_reuse_ = 0;
 
   DramCounters dram_;

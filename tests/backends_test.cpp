@@ -3,8 +3,10 @@
 // produce the identical mesh for the same deterministic workload).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "amr/droplet.hpp"
 #include "amr/pm_backend.hpp"
@@ -209,6 +211,71 @@ TEST(InCore, OctantsNeverTouchSnapshotNvbmUntilSnapshot) {
 // ---------------------------------------------------------------------------
 // Cross-backend equivalence under the droplet workload
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// LeafChunk::find hint regression: the hint is purely an acceleration —
+// after a miss (probe outside the covered domain) or an arbitrary far
+// jump, find must never serve a stale slot; every result is re-verified
+// against the probe's octant.
+// ---------------------------------------------------------------------------
+
+TEST(LeafChunkFind, HintNeverServesStaleSlotAfterMiss) {
+  // Snapshot covering only the lower-z half of the domain at level 3 —
+  // Morton-sorted but with gaps, so probes into the upper half miss.
+  std::vector<LocCode> codes;
+  for (std::uint32_t z = 0; z < 4; ++z)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t x = 0; x < 8; ++x)
+        codes.push_back(LocCode::from_grid(3, x, y, z));
+  std::sort(codes.begin(), codes.end(),
+            [](const LocCode& a, const LocCode& b) {
+              return a.key() < b.key();
+            });
+  std::vector<CellData> cells(codes.size());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cells[i].vof = static_cast<double>(i);  // slot marker
+
+  amr::LeafChunk ch;
+  ch.begin = 0;
+  ch.end = codes.size();
+  ch.codes = codes.data();
+  ch.cells = cells.data();
+  ch.leaves = codes.size();
+
+  // Prime the hint mid-array, then miss into the uncovered half: find
+  // must report "no covering leaf", never the hinted slot's cell.
+  ASSERT_EQ(ch.find(codes[100]), &cells[100]);
+  EXPECT_EQ(ch.find(LocCode::from_grid(3, 0, 0, 7)), nullptr);
+  EXPECT_EQ(ch.find(LocCode::from_grid(3, 7, 7, 7)), nullptr);
+
+  // The misses must not poison later hits: probe every leaf in orders
+  // that defeat the hint (reverse, and a large coprime stride).
+  for (std::size_t i = codes.size(); i-- > 0;)
+    ASSERT_EQ(ch.find(codes[i]), &cells[i]) << "reverse probe " << i;
+  for (std::size_t i = 0, at = 0; i < codes.size();
+       ++i, at = (at + 149) % codes.size())
+    ASSERT_EQ(ch.find(codes[at]), &cells[at]) << "strided probe " << at;
+
+  // Finer probes resolve to the covering leaf through the same hint path.
+  EXPECT_EQ(ch.find(codes[5].child(3).child(1)), &cells[5]);
+  // Alternating hit / out-of-domain miss along the coverage boundary: the
+  // chunk-edge pattern the legacy gather produces. Expected slots come
+  // from a hint-free linear scan.
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    const LocCode inside = LocCode::from_grid(3, x, 0, 3);
+    const CellData* expect = nullptr;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i].key() == inside.key()) expect = &cells[i];
+    }
+    ASSERT_NE(expect, nullptr);
+    ASSERT_EQ(ch.find(inside), expect) << "boundary hit x=" << x;
+    ASSERT_EQ(ch.find(LocCode::from_grid(3, x, 0, 4)), nullptr)
+        << "boundary miss x=" << x;
+  }
+
+  // Probe accounting ran: every inspection above counted.
+  EXPECT_GT(ch.probes, codes.size());
+}
 
 class BackendEquivalence : public ::testing::TestWithParam<int> {};
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <memory>
 #include <string>
@@ -140,6 +141,53 @@ TEST(Determinism, ModeledResultsBitIdenticalAcrossThreadCounts) {
   const RunOutput t1 = run_once(1);
   const RunOutput t8 = run_once(8);
   expect_same_modeled_outputs(t1, t8);
+}
+
+// ---------------------------------------------------------------------------
+// Solve-kernel determinism (DESIGN.md §12): the Jacobi gather's results
+// are bit-identical across the chunk-dispatch thread count AND the SIMD
+// dispatch switch — the AVX2 kernels, the portable loops, and any pool
+// size must produce the same field bits.
+// ---------------------------------------------------------------------------
+
+/// Leaf fields after a short droplet run, as raw bit patterns keyed by
+/// (key, level) — bit_cast so -0.0 vs +0.0 or NaN payload drift fails.
+std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+run_gather_droplet(int threads, bool simd_on) {
+  const bool saved = simd::enabled();
+  simd::set_enabled(simd_on);
+  nvbm::Device dev(std::size_t{128} << 20, {});
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = std::size_t{8} << 20;
+  amr::PmOctreeBackend mesh(dev, pm);
+  amr::DropletParams params;
+  params.min_level = 2;
+  params.max_level = 4;
+  params.dt = 0.05;
+  amr::DropletWorkload wl(params);
+  exec::ThreadPool pool(threads);
+  wl.set_exec(&pool);
+  mesh.set_exec(&pool);
+  wl.initialize(mesh);
+  for (int s = 0; s < 3; ++s) wl.step(mesh, s);
+
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> out;
+  mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+    out[c.key() | (static_cast<std::uint64_t>(c.level()) << 60)] = {
+        std::bit_cast<std::uint64_t>(d.vof),
+        std::bit_cast<std::uint64_t>(d.tracer)};
+  });
+  simd::set_enabled(saved);
+  return out;
+}
+
+TEST(Determinism, GatherBitIdenticalAcrossThreadsAndSimd) {
+  const auto base = run_gather_droplet(1, false);
+  ASSERT_GT(base.size(), 100u);
+  EXPECT_EQ(base, run_gather_droplet(4, false)) << "threads moved bits";
+  EXPECT_EQ(base, run_gather_droplet(1, true)) << "simd moved bits";
+  EXPECT_EQ(base, run_gather_droplet(4, true))
+      << "threads x simd moved bits";
 }
 
 // ---------------------------------------------------------------------------

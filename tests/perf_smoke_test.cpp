@@ -9,13 +9,18 @@
 // "speedup" obtained by changing semantics fails the gate.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "amr/droplet.hpp"
 #include "amr/pm_backend.hpp"
+#include "common/simd.hpp"
 #include "pmoctree/api.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pmo {
 namespace {
@@ -173,6 +178,114 @@ TEST(PerfSmoke, LinearCompactionCutsNvbmLineReadsByAtLeast40Percent) {
   // …and the A/B toggle changes layout only, never the mesh.
   EXPECT_EQ(off.linear_chains, 0u);
   EXPECT_EQ(on.leaves, off.leaves);
+}
+
+// ---------------------------------------------------------------------------
+// Solve-kernel gates (the SIMD/neighbor-index PR): modeled neighbor-lookup
+// work and the SIMD determinism contract on the fig07 droplet
+// configuration (min_level=3, max_level=5, dt=0.12).
+// ---------------------------------------------------------------------------
+
+struct SolveOutcome {
+  /// (key|level) -> (vof bits, tracer bits): bit-exact field comparison.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> leaves;
+  std::uint64_t find_probes = 0;   ///< legacy per-face-find inspections
+  std::uint64_t build_probes = 0;  ///< neighbor-index build inspections
+  std::uint64_t builds = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t lines_read = 0;
+  std::uint64_t lines_written = 0;
+  std::uint64_t nvbm_writes = 0;
+};
+
+SolveOutcome run_fig07_droplet(bool neighbor_index, bool simd_on) {
+  const bool saved_simd = simd::enabled();
+  simd::set_enabled(simd_on);
+  auto& reg = telemetry::Registry::global();
+  const std::uint64_t find0 = reg.counter("amr.chunk.find_probes").value();
+  const std::uint64_t build0 =
+      reg.counter("amr.neighbor.build_probes").value();
+  const std::uint64_t builds0 = reg.counter("amr.neighbor.builds").value();
+  const std::uint64_t reuses0 = reg.counter("amr.neighbor.reuses").value();
+
+  nvbm::Device dev(std::size_t{256} << 20, {});
+  pmoctree::PmConfig pm;
+  pm.dram_budget_bytes = std::size_t{16} << 20;
+  amr::PmOctreeBackend mesh(dev, pm);
+
+  amr::DropletParams params;
+  params.min_level = 3;
+  params.max_level = 5;
+  params.dt = 0.12;
+  params.neighbor_index = neighbor_index;
+  amr::DropletWorkload wl(params);
+  wl.initialize(mesh);
+  for (int s = 0; s < 3; ++s) wl.step(mesh, s);
+
+  SolveOutcome out;
+  mesh.visit_leaves([&](const LocCode& c, const CellData& d) {
+    out.leaves[c.key() | (static_cast<std::uint64_t>(c.level()) << 60)] = {
+        std::bit_cast<std::uint64_t>(d.vof),
+        std::bit_cast<std::uint64_t>(d.tracer)};
+  });
+  out.find_probes = reg.counter("amr.chunk.find_probes").value() - find0;
+  out.build_probes =
+      reg.counter("amr.neighbor.build_probes").value() - build0;
+  out.builds = reg.counter("amr.neighbor.builds").value() - builds0;
+  out.reuses = reg.counter("amr.neighbor.reuses").value() - reuses0;
+  const auto& ctr = dev.counters();
+  out.lines_read = ctr.lines_read;
+  out.lines_written = ctr.lines_written;
+  out.nvbm_writes = ctr.writes;
+  simd::set_enabled(saved_simd);
+  return out;
+}
+
+TEST(PerfSmoke, NeighborIndexCutsSolveLookupWorkTo25Percent) {
+  // The gate: with the face-neighbor index on, the solve phase's modeled
+  // neighbor-lookup work (index-build candidate inspections) is at most
+  // 25% of the per-face LeafChunk::find baseline's probe count — the
+  // batched build amortizes one hinted pass across all solver sweeps.
+  const SolveOutcome on = run_fig07_droplet(true, simd::avx2_compiled());
+  const SolveOutcome off = run_fig07_droplet(false, simd::avx2_compiled());
+
+  ASSERT_GT(off.find_probes, 0u);
+  ASSERT_GT(on.builds, 0u);
+  EXPECT_EQ(on.find_probes, 0u);  // the indexed arm never calls find
+  EXPECT_LE(on.build_probes * 4, off.find_probes)
+      << "build probes " << on.build_probes << " vs find baseline "
+      << off.find_probes << " (ratio "
+      << (100.0 * static_cast<double>(on.build_probes) /
+          static_cast<double>(off.find_probes))
+      << "%)";
+  // The index is actually reused across Jacobi sweeps, not rebuilt.
+  EXPECT_GT(on.reuses, 0u);
+  // Fast path only — the fields are bit-identical either way.
+  EXPECT_EQ(on.leaves, off.leaves);
+  std::printf("[ info ] neighbor-index build probes %llu vs find baseline "
+              "%llu (%.1f%%), builds %llu reuses %llu\n",
+              static_cast<unsigned long long>(on.build_probes),
+              static_cast<unsigned long long>(off.find_probes),
+              100.0 * static_cast<double>(on.build_probes) /
+                  static_cast<double>(off.find_probes),
+              static_cast<unsigned long long>(on.builds),
+              static_cast<unsigned long long>(on.reuses));
+}
+
+TEST(PerfSmoke, SimdToggleIsModeledStateTransparent) {
+  // SIMD on vs off must be wall-clock-only: identical field bits and
+  // identical modeled device traffic (the perf_smoke half of the bench
+  // JSON bit-identity criterion; benchdiff gates the full document).
+  const SolveOutcome simd_on = run_fig07_droplet(true, true);
+  const SolveOutcome simd_off = run_fig07_droplet(true, false);
+
+  EXPECT_EQ(simd_on.leaves, simd_off.leaves);
+  EXPECT_EQ(simd_on.lines_read, simd_off.lines_read);
+  EXPECT_EQ(simd_on.lines_written, simd_off.lines_written);
+  EXPECT_EQ(simd_on.nvbm_writes, simd_off.nvbm_writes);
+  EXPECT_EQ(simd_on.build_probes, simd_off.build_probes);
+  EXPECT_EQ(simd_on.builds, simd_off.builds);
+  EXPECT_EQ(simd_on.reuses, simd_off.reuses);
 }
 
 TEST(PerfSmoke, IncrementalPersistVisitsAtMost10PercentOfNodes) {

@@ -1,0 +1,119 @@
+// Forced-portable build surface check: this binary compiles its own copy
+// of src/common/simd.cpp with PMO_SIMD_FORCE_PORTABLE=1 (it must NOT link
+// pmo_common — that library carries the host-probed simd.cpp, and mixing
+// the two would be an ODR violation). Verifies that the portable-only
+// build reports no AVX2, that set_enabled(true) is clamped to a no-op,
+// and that the kernels still implement the exact scalar recurrence — the
+// configuration every non-AVX2 toolchain gets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/simd.hpp"
+
+namespace pmo {
+namespace {
+
+/// Hand-built face-neighbor table of a 2x2x2 uniform mesh. Cell i sits at
+/// (x, y, z) = (i & 1, (i >> 1) & 1, (i >> 2) & 1); the neighbor across an
+/// in-domain face toggles one coordinate bit, out-of-domain faces are -1.
+/// Face order is simd::kFaces: +x, -x, +y, -y, +z, -z.
+std::vector<std::int32_t> cube_slots() {
+  std::vector<std::int32_t> slots(8 * simd::kFaceCount, -1);
+  for (int i = 0; i < 8; ++i) {
+    const int x = i & 1, y = (i >> 1) & 1, z = (i >> 2) & 1;
+    std::int32_t* s = slots.data() + simd::kFaceCount * i;
+    s[0] = x == 0 ? i | 1 : -1;   // +x
+    s[1] = x == 1 ? i & ~1 : -1;  // -x
+    s[2] = y == 0 ? i | 2 : -1;   // +y
+    s[3] = y == 1 ? i & ~2 : -1;  // -y
+    s[4] = z == 0 ? i | 4 : -1;   // +z
+    s[5] = z == 1 ? i & ~4 : -1;  // -z
+  }
+  return slots;
+}
+
+TEST(SimdPortable, Avx2IsCompiledOut) {
+  EXPECT_FALSE(simd::avx2_compiled());
+  EXPECT_FALSE(simd::enabled());
+  simd::set_enabled(true);  // must clamp: no AVX2 body exists to dispatch to
+  EXPECT_FALSE(simd::enabled());
+  simd::set_enabled(false);
+}
+
+TEST(SimdPortable, GatherImplementsScalarRecurrence) {
+  const auto slots = cube_slots();
+  std::vector<double> vof, tracer;
+  for (int i = 0; i < 8; ++i) {
+    vof.push_back(0.1 * (i + 1));
+    tracer.push_back(static_cast<double>(i) - 3.5);
+  }
+  std::vector<double> relaxed(8, 0.0);
+  std::vector<std::uint8_t> touched(8, 0);
+  simd::set_enabled(true);  // clamped; still exercises the dispatch path
+  simd::gather_relax(vof.data(), tracer.data(), slots.data(), 0, 8,
+                     relaxed.data(), touched.data());
+  for (int i = 0; i < 8; ++i) {
+    double acc = 0.0;
+    int n = 0;
+    for (int f = 0; f < simd::kFaceCount; ++f) {
+      const std::int32_t s = slots[simd::kFaceCount * i + f];
+      if (s >= 0) {
+        acc += tracer[static_cast<std::size_t>(s)];
+        ++n;
+      }
+    }
+    ASSERT_EQ(n, 3);
+    EXPECT_EQ(relaxed[i], 0.5 * tracer[i] + 0.5 * (acc / n) + 0.1 * vof[i]);
+    EXPECT_EQ(touched[i], 1);
+  }
+}
+
+TEST(SimdPortable, GatherSkipsGasCellsAndToleratesNaN) {
+  const auto slots = cube_slots();
+  std::vector<double> vof(8, 0.5), tracer(8, 1.0);
+  vof[2] = 0.0;
+  tracer[2] = 0.0;  // skip cell: outputs untouched
+  tracer[5] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> relaxed(8, -1.0);
+  std::vector<std::uint8_t> touched(8, 0xab);
+  simd::gather_relax(vof.data(), tracer.data(), slots.data(), 0, 8,
+                     relaxed.data(), touched.data());
+  EXPECT_EQ(relaxed[2], -1.0);
+  EXPECT_EQ(touched[2], 0xab);
+  // NaN flows through the arithmetic: every neighbor of cell 5 sees it.
+  for (int i = 0; i < 8; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(touched[i], 1);
+    const bool sees_nan =
+        i == 5 || slots[simd::kFaceCount * i + 0] == 5 ||
+        slots[simd::kFaceCount * i + 1] == 5 ||
+        slots[simd::kFaceCount * i + 2] == 5 ||
+        slots[simd::kFaceCount * i + 3] == 5 ||
+        slots[simd::kFaceCount * i + 4] == 5 ||
+        slots[simd::kFaceCount * i + 5] == 5;
+    EXPECT_EQ(std::isnan(relaxed[i]), sees_nan) << "cell " << i;
+  }
+}
+
+TEST(SimdPortable, MarkInterfaceBandMatchesPredicate) {
+  const double band = 1e-3;
+  std::vector<double> vof = {0.0,
+                             band,
+                             std::nextafter(band, 1.0),
+                             0.5,
+                             1.0 - band,
+                             std::nextafter(1.0 - band, 0.0),
+                             1.0,
+                             std::numeric_limits<double>::quiet_NaN()};
+  std::vector<std::uint8_t> marks(vof.size(), 0xcd);
+  simd::mark_interface_band(vof.data(), vof.size(), band, marks.data());
+  const std::vector<std::uint8_t> expect = {0, 0, 1, 1, 0, 1, 0, 0};
+  EXPECT_EQ(marks, expect);
+}
+
+}  // namespace
+}  // namespace pmo

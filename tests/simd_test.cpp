@@ -1,0 +1,393 @@
+// Differential tests for the SIMD solve kernels (src/common/simd.cpp) and
+// the face-neighbor index: the AVX2 paths must be bit-identical to the
+// portable scalar loops for every input — including NaN, denormal and
+// -0.0 field values — and the index's slot table must agree with the
+// per-face LeafChunk::find baseline on arbitrary adaptive leaf sets.
+// On hosts without the AVX2 build (avx2_compiled() == false) the
+// differential cases degenerate to portable-vs-portable and still pass;
+// tests/simd_portable_test.cpp covers the forced-portable build.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "amr/mesh_backend.hpp"
+#include "amr/neighbor_index.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "octree/cell_data.hpp"
+
+namespace pmo {
+namespace {
+
+/// Saves/restores the global SIMD dispatch switch around a test.
+class SimdGuard {
+ public:
+  SimdGuard() : saved_(simd::enabled()) {}
+  ~SimdGuard() { simd::set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Random adaptive (non-uniform) leaf partition of the domain: refine
+/// with probability p until max_level, DFS child order 0..7, then sort by
+/// key — a valid Morton-sorted leaf set, not necessarily 2:1 balanced
+/// (neighbor resolution must not require balance).
+void subdivide(const LocCode& code, int max_level, double p, Rng& rng,
+               std::vector<LocCode>& out) {
+  if (code.level() < max_level && (code.level() == 0 || rng.chance(p))) {
+    for (int i = 0; i < kChildrenPerNode; ++i)
+      subdivide(code.child(i), max_level, p, rng, out);
+  } else {
+    out.push_back(code);
+  }
+}
+
+std::vector<LocCode> random_leafset(std::uint64_t seed, int max_level,
+                                    double p) {
+  Rng rng(seed);
+  std::vector<LocCode> out;
+  subdivide(LocCode::root(), max_level, p, rng, out);
+  std::sort(out.begin(), out.end(),
+            [](const LocCode& a, const LocCode& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+/// Level-extremes set: a "corner path" refined all the way to kMaxLevel —
+/// at every level, siblings 1..7 stay leaves and child 0 descends. Has
+/// leaves at every level in [1, kMaxLevel], exercising the key-mask
+/// containment math at both ends.
+std::vector<LocCode> corner_path_leafset() {
+  std::vector<LocCode> out;
+  LocCode at = LocCode::root();
+  for (int l = 0; l < kMaxLevel; ++l) {
+    for (int i = 1; i < kChildrenPerNode; ++i) out.push_back(at.child(i));
+    at = at.child(0);
+  }
+  out.push_back(at);
+  std::sort(out.begin(), out.end(),
+            [](const LocCode& a, const LocCode& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+struct Fields {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint8_t> levels;
+  std::vector<double> vof;
+  std::vector<double> tracer;
+  std::vector<CellData> cells;  ///< AoS mirror for LeafChunk
+};
+
+/// Field arrays over a leaf set, seeded with uniform values plus a
+/// sprinkling of the IEEE special values the determinism contract calls
+/// out: NaN, +/-0.0, denormals, and exact-skip (0,0) cells.
+Fields make_fields(const std::vector<LocCode>& codes, std::uint64_t seed) {
+  Fields f;
+  Rng rng(seed);
+  const double specials[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      -0.0,
+      0.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      1e-9,  // the skip threshold itself
+      std::numeric_limits<double>::infinity(),
+  };
+  for (const auto& c : codes) {
+    CellData d;
+    const std::uint64_t roll = rng.below(10);
+    if (roll == 0) {
+      d.vof = 0.0;  // gas cell: skip candidate
+      d.tracer = rng.chance(0.5) ? 0.0 : 1e-9;
+    } else if (roll == 1) {
+      d.vof = rng.chance(0.5) ? 0.0 : rng.uniform();
+      d.tracer = specials[rng.below(std::size(specials))];
+    } else {
+      d.vof = rng.uniform();
+      d.tracer = rng.uniform(-1.0, 1.0);
+    }
+    f.keys.push_back(c.key());
+    f.levels.push_back(static_cast<std::uint8_t>(c.level()));
+    f.vof.push_back(d.vof);
+    f.tracer.push_back(d.tracer);
+    f.cells.push_back(d);
+  }
+  return f;
+}
+
+/// Runs gather_relax over [begin, end) with the given dispatch setting;
+/// output arrays prefilled with a sentinel so untouched slots are
+/// detectable bit-exactly.
+void run_gather(const Fields& f, const std::int32_t* nbr, std::size_t begin,
+                std::size_t end, bool simd_on, std::vector<double>& relaxed,
+                std::vector<std::uint8_t>& touched) {
+  SimdGuard guard;
+  simd::set_enabled(simd_on);
+  relaxed.assign(f.keys.size(), -12345.678);
+  touched.assign(f.keys.size(), 0xab);
+  simd::gather_relax(f.vof.data(), f.tracer.data(), nbr, begin, end,
+                     relaxed.data(), touched.data());
+}
+
+/// Bitwise comparison of double arrays (== would equate -0.0/+0.0 and
+/// reject NaN==NaN; the contract is bit-identity).
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}
+
+TEST(Simd, GatherBitIdenticalOnRandomAdaptiveSets) {
+  for (std::uint64_t seed : {7ull, 21ull, 99ull, 1234ull}) {
+    const auto codes = random_leafset(seed, 5, 0.55);
+    const Fields f = make_fields(codes, seed * 31 + 1);
+    amr::FaceNeighborIndex index;
+    index.build(f.keys.data(), f.levels.data(), f.keys.size());
+
+    std::vector<double> r_scalar, r_simd;
+    std::vector<std::uint8_t> t_scalar, t_simd;
+    run_gather(f, index.slots(), 0, f.keys.size(), false, r_scalar, t_scalar);
+    run_gather(f, index.slots(), 0, f.keys.size(), true, r_simd, t_simd);
+    expect_bits_equal(r_scalar, r_simd);
+    EXPECT_EQ(t_scalar, t_simd) << "seed " << seed;
+  }
+}
+
+TEST(Simd, GatherBitIdenticalAtLevelExtremes) {
+  const auto codes = corner_path_leafset();
+  // The corner leaf (anchor 0, level kMaxLevel) sorts first: its key is 0.
+  ASSERT_EQ(static_cast<int>(codes.front().level()), kMaxLevel);
+  const Fields f = make_fields(codes, 5);
+  amr::FaceNeighborIndex index;
+  index.build(f.keys.data(), f.levels.data(), f.keys.size());
+
+  std::vector<double> r_scalar, r_simd;
+  std::vector<std::uint8_t> t_scalar, t_simd;
+  run_gather(f, index.slots(), 0, f.keys.size(), false, r_scalar, t_scalar);
+  run_gather(f, index.slots(), 0, f.keys.size(), true, r_simd, t_simd);
+  expect_bits_equal(r_scalar, r_simd);
+  EXPECT_EQ(t_scalar, t_simd);
+}
+
+TEST(Simd, GatherRespectsSubrangeAndSkips) {
+  const auto codes = random_leafset(3, 4, 0.6);
+  Fields f = make_fields(codes, 11);
+  ASSERT_GT(f.keys.size(), 16u);
+  // Force some guaranteed skip cells inside the range.
+  f.vof[5] = 0.0;
+  f.tracer[5] = 0.0;
+  f.vof[6] = -0.25;  // vof <= 0 and tiny tracer: skip
+  f.tracer[6] = 1e-9;
+  amr::FaceNeighborIndex index;
+  index.build(f.keys.data(), f.levels.data(), f.keys.size());
+
+  const std::size_t begin = 3, end = f.keys.size() - 5;
+  for (bool simd_on : {false, true}) {
+    std::vector<double> relaxed;
+    std::vector<std::uint8_t> touched;
+    run_gather(f, index.slots(), begin, end, simd_on, relaxed, touched);
+    for (std::size_t i = 0; i < f.keys.size(); ++i) {
+      const bool in_range = i >= begin && i < end;
+      const bool skipped = simd::gather_skip_cell(f.vof[i], f.tracer[i]);
+      if (!in_range || skipped) {
+        EXPECT_EQ(relaxed[i], -12345.678) << "slot " << i;
+        EXPECT_EQ(touched[i], 0xab) << "slot " << i;
+      } else {
+        EXPECT_EQ(touched[i], 1) << "slot " << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, GatherRootOnlyLeafHasNoNeighbors) {
+  // Single root leaf: all 6 slots are -1, so r == tracer (n == 0 branch).
+  Fields f;
+  f.keys.push_back(LocCode::root().key());
+  f.levels.push_back(0);
+  f.vof.push_back(0.5);
+  f.tracer.push_back(0.75);
+  amr::FaceNeighborIndex index;
+  index.build(f.keys.data(), f.levels.data(), 1);
+  for (int face = 0; face < simd::kFaceCount; ++face)
+    EXPECT_EQ(index.slots()[face], -1);
+
+  for (bool simd_on : {false, true}) {
+    std::vector<double> relaxed;
+    std::vector<std::uint8_t> touched;
+    run_gather(f, index.slots(), 0, 1, simd_on, relaxed, touched);
+    EXPECT_EQ(relaxed[0], 0.75 + 0.1 * 0.5);
+    EXPECT_EQ(touched[0], 1);
+  }
+}
+
+TEST(Simd, GatherScalarSemanticsMatchSpec) {
+  // Hand-check the kernel against the documented recurrence on a uniform
+  // level-1 mesh (8 leaves, each with 3 in-domain neighbors).
+  const auto codes = random_leafset(1, 1, 1.0);
+  ASSERT_EQ(codes.size(), 8u);
+  Fields f;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    f.keys.push_back(codes[i].key());
+    f.levels.push_back(1);
+    f.vof.push_back(0.5);
+    f.tracer.push_back(static_cast<double>(i));
+  }
+  amr::FaceNeighborIndex index;
+  index.build(f.keys.data(), f.levels.data(), f.keys.size());
+
+  for (bool simd_on : {false, true}) {
+    std::vector<double> relaxed;
+    std::vector<std::uint8_t> touched;
+    run_gather(f, index.slots(), 0, f.keys.size(), simd_on, relaxed,
+               touched);
+    for (std::size_t i = 0; i < f.keys.size(); ++i) {
+      double acc = 0.0;
+      int n = 0;
+      for (int face = 0; face < simd::kFaceCount; ++face) {
+        const std::int32_t s = index.slots()[6 * i + face];
+        if (s >= 0) {
+          acc += f.tracer[static_cast<std::size_t>(s)];
+          ++n;
+        }
+      }
+      ASSERT_EQ(n, 3) << "leaf " << i;
+      const double expect = 0.5 * f.tracer[i] + 0.5 * (acc / n) + 0.1 * 0.5;
+      EXPECT_EQ(relaxed[i], expect) << "leaf " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Face-neighbor index vs the per-face LeafChunk::find baseline
+// ---------------------------------------------------------------------------
+
+/// Brute-force reference: resolve each face through LeafChunk::find (the
+/// legacy solve arm) and translate the CellData* back to a slot index.
+std::vector<std::int32_t> reference_slots(const std::vector<LocCode>& codes,
+                                          const Fields& f) {
+  amr::LeafChunk ch;
+  ch.begin = 0;
+  ch.end = codes.size();
+  ch.codes = codes.data();
+  ch.cells = f.cells.data();
+  ch.leaves = codes.size();
+  std::vector<std::int32_t> slots(codes.size() * simd::kFaceCount, -1);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    for (int face = 0; face < simd::kFaceCount; ++face) {
+      LocCode nb;
+      if (!codes[i].neighbor(simd::kFaces[face][0], simd::kFaces[face][1],
+                             simd::kFaces[face][2], nb)) {
+        continue;
+      }
+      const CellData* d = ch.find(nb);
+      if (d != nullptr) {
+        slots[simd::kFaceCount * i + face] =
+            static_cast<std::int32_t>(d - f.cells.data());
+      }
+    }
+  }
+  return slots;
+}
+
+TEST(NeighborIndex, MatchesPerFaceFindOnRandomAdaptiveSets) {
+  for (std::uint64_t seed : {2ull, 13ull, 77ull}) {
+    const auto codes = random_leafset(seed, 5, 0.5);
+    const Fields f = make_fields(codes, seed);
+    amr::FaceNeighborIndex index;
+    index.build(f.keys.data(), f.levels.data(), f.keys.size());
+    EXPECT_GT(index.last_build_probes(), 0u);
+
+    const auto ref = reference_slots(codes, f);
+    ASSERT_EQ(ref.size(), codes.size() * simd::kFaceCount);
+    for (std::size_t s = 0; s < ref.size(); ++s) {
+      ASSERT_EQ(index.slots()[s], ref[s])
+          << "seed " << seed << " leaf " << s / simd::kFaceCount << " face "
+          << s % simd::kFaceCount;
+    }
+  }
+}
+
+TEST(NeighborIndex, MatchesPerFaceFindAtLevelExtremes) {
+  const auto codes = corner_path_leafset();
+  const Fields f = make_fields(codes, 17);
+  amr::FaceNeighborIndex index;
+  index.build(f.keys.data(), f.levels.data(), f.keys.size());
+  const auto ref = reference_slots(codes, f);
+  for (std::size_t s = 0; s < ref.size(); ++s) {
+    ASSERT_EQ(index.slots()[s], ref[s])
+        << "leaf " << s / simd::kFaceCount << " face "
+        << s % simd::kFaceCount;
+  }
+}
+
+TEST(NeighborIndex, StampAndInvalidateGovernReuse) {
+  const auto codes = random_leafset(4, 3, 0.5);
+  const Fields f = make_fields(codes, 4);
+  amr::FaceNeighborIndex index;
+  EXPECT_FALSE(index.valid_for(7, f.keys.size()));
+  index.build(f.keys.data(), f.levels.data(), f.keys.size());
+  index.stamp(7, f.keys.size());
+  EXPECT_TRUE(index.valid_for(7, f.keys.size()));
+  EXPECT_FALSE(index.valid_for(8, f.keys.size()));       // version moved
+  EXPECT_FALSE(index.valid_for(7, f.keys.size() + 1));   // leaf count moved
+  index.invalidate();
+  EXPECT_FALSE(index.valid_for(7, f.keys.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Interface-band mark kernel
+// ---------------------------------------------------------------------------
+
+TEST(Simd, MarkInterfaceBandMatchesScalarPredicate) {
+  Rng rng(23);
+  std::vector<double> vof;
+  for (int i = 0; i < 1000; ++i) vof.push_back(rng.uniform());
+  // Boundary and special values: the exact band edges must classify
+  // identically in both paths (strict inequalities), NaN marks 0.
+  const double band = 1e-3;
+  vof.push_back(band);
+  vof.push_back(1.0 - band);
+  vof.push_back(std::nextafter(band, 1.0));
+  vof.push_back(std::nextafter(1.0 - band, 0.0));
+  vof.push_back(std::numeric_limits<double>::quiet_NaN());
+  vof.push_back(-0.0);
+  vof.push_back(1.0);
+  vof.push_back(std::numeric_limits<double>::denorm_min());
+
+  std::vector<std::uint8_t> scalar_marks(vof.size(), 0xcd);
+  std::vector<std::uint8_t> simd_marks(vof.size(), 0xcd);
+  {
+    SimdGuard guard;
+    simd::set_enabled(false);
+    simd::mark_interface_band(vof.data(), vof.size(), band,
+                              scalar_marks.data());
+    simd::set_enabled(true);
+    simd::mark_interface_band(vof.data(), vof.size(), band,
+                              simd_marks.data());
+  }
+  EXPECT_EQ(scalar_marks, simd_marks);
+  for (std::size_t i = 0; i < vof.size(); ++i) {
+    CellData d;
+    d.vof = vof[i];
+    EXPECT_EQ(scalar_marks[i] != 0, is_interface_cell(d, band))
+        << "vof " << vof[i];
+  }
+}
+
+TEST(Simd, SetEnabledIsClampedToCompiledSupport) {
+  SimdGuard guard;
+  simd::set_enabled(true);
+  EXPECT_EQ(simd::enabled(), simd::avx2_compiled());
+  simd::set_enabled(false);
+  EXPECT_FALSE(simd::enabled());
+}
+
+}  // namespace
+}  // namespace pmo
